@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+func TestPickDistribution(t *testing.T) {
+	cases := []struct {
+		name  string
+		param float64
+		want  string
+	}{
+		{"facebook", 0, "facebook"},
+		{"facebook", 40, "facebook"},
+		{"zeta", 0, "zeta"},
+		{"zeta", 2.1, "zeta"},
+		{"geometric", 0, "geometric"},
+		{"geometric", 0.3, "geometric"},
+	}
+	for _, c := range cases {
+		d, err := pickDistribution(c.name, c.param)
+		if err != nil {
+			t.Fatalf("pickDistribution(%s, %v): %v", c.name, c.param, err)
+		}
+		if d.Name() != c.want {
+			t.Errorf("pickDistribution(%s) = %s", c.name, d.Name())
+		}
+		if d.Mean() <= 0 {
+			t.Errorf("%s mean = %v", c.name, d.Mean())
+		}
+	}
+	if _, err := pickDistribution("powerlaw", 0); err == nil {
+		t.Error("unknown distribution should fail")
+	}
+	if _, err := pickDistribution("zeta", 0.5); err == nil {
+		t.Error("invalid zeta exponent should fail")
+	}
+}
+
+func TestDefaultParameters(t *testing.T) {
+	// The Figure 1 defaults: zeta 1.7 and geometric 0.12.
+	z, err := pickDistribution("zeta", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zeta(1.7) has a heavy tail: quantile at 0.999 far above the median.
+	if q := z.Quantile(0.999); q < 10 {
+		t.Errorf("zeta default tail too light: q999 = %d", q)
+	}
+	g, err := pickDistribution("geometric", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := g.Mean(); m < 8 || m > 9 {
+		t.Errorf("geometric default mean = %v, want 1/0.12", m)
+	}
+}

@@ -1,0 +1,302 @@
+// Command graphalytics is the benchmark driver: it runs the full matrix
+// of platforms × graphs × algorithms described by a properties file (or
+// flags), validates outputs, and writes the report — the executable
+// counterpart of the paper's "Graphalytics includes a Unix shell script
+// that triggers the execution of the benchmark. After the execution
+// completes, the benchmark report is available in the local file
+// system" (§2.3).
+//
+// Usage:
+//
+//	graphalytics [flags]
+//	graphalytics -config bench.properties
+//
+// Properties understood (flags override):
+//
+//	benchmark.run.platforms  = pregel,mapreduce,dataflow,graphdb
+//	benchmark.run.algorithms = BFS,CD,CONN,EVO,STATS
+//	benchmark.run.graphs     = social:10000,rmat:12,patents
+//	benchmark.run.timeout    = 5m
+//	benchmark.run.validate   = true
+//	benchmark.output.dir     = report/
+//	platform.dataflow.memory = 268435456
+//	platform.graphdb.memory  = 268435456
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"graphalytics"
+	"graphalytics/internal/algo"
+	"graphalytics/internal/config"
+	"graphalytics/internal/core"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/platform"
+	"graphalytics/internal/report"
+	"graphalytics/internal/resultsdb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "graphalytics:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		configPath = flag.String("config", "", "properties file")
+		platforms  = flag.String("platforms", "", "comma-separated platforms (default all)")
+		algorithms = flag.String("algorithms", "", "comma-separated algorithms (default all)")
+		graphsSpec = flag.String("graphs", "", "comma-separated graph specs (social:N, rmat:SCALE, amazon|youtube|livejournal|patents|wikipedia, or file:PATH.e)")
+		timeout    = flag.Duration("timeout", 5*time.Minute, "per-run timeout")
+		outDir     = flag.String("out", "graphalytics-report", "report output directory")
+		validate   = flag.Bool("validate", true, "validate outputs against the reference")
+		seed       = flag.Uint64("seed", 42, "generator / algorithm seed")
+		submitURL  = flag.String("submit", "", "results-database base URL to submit the report to (e.g. http://localhost:8080)")
+		submitter  = flag.String("submitter", "anonymous", "submitter name for -submit")
+	)
+	flag.Parse()
+
+	props := config.New()
+	if *configPath != "" {
+		loaded, err := config.LoadFile(*configPath)
+		if err != nil {
+			return err
+		}
+		props = loaded
+	}
+	pick := func(flagVal, key, def string) string {
+		if flagVal != "" {
+			return flagVal
+		}
+		return props.String(key, def)
+	}
+
+	platformNames := splitList(pick(*platforms, "benchmark.run.platforms", "pregel,mapreduce,dataflow,graphdb"))
+	algoNames := splitList(pick(*algorithms, "benchmark.run.algorithms", "BFS,CD,CONN,EVO,STATS"))
+	graphSpecs := splitList(pick(*graphsSpec, "benchmark.run.graphs", "social:5000"))
+	if v, err := props.Duration("benchmark.run.timeout", *timeout); err == nil {
+		*timeout = v
+	}
+	if v, err := props.Bool("benchmark.run.validate", *validate); err == nil {
+		*validate = v
+	}
+	dir := pick(*outDir, "benchmark.output.dir", "graphalytics-report")
+
+	plats, err := buildPlatforms(platformNames, props)
+	if err != nil {
+		return err
+	}
+	algs, err := parseAlgorithms(algoNames)
+	if err != nil {
+		return err
+	}
+	graphs, err := buildGraphs(graphSpecs, *seed)
+	if err != nil {
+		return err
+	}
+
+	bench := &core.Benchmark{
+		Platforms:       plats,
+		Graphs:          graphs,
+		Algorithms:      algs,
+		Params:          algo.Params{Seed: *seed},
+		Timeout:         *timeout,
+		Validate:        *validate,
+		MonitorInterval: 10 * time.Millisecond,
+		Progress: func(r report.RunResult) {
+			fmt.Printf("  %-10s %-14s %-6s %-10s %s\n", r.Platform, r.Graph, r.Algorithm, r.Status, r.Cell())
+		},
+	}
+	fmt.Printf("running %d platforms × %d graphs × %d algorithms\n", len(plats), len(graphs), len(algs))
+	rep, err := bench.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Summary())
+	if err := writeReport(dir, rep); err != nil {
+		return err
+	}
+	if *submitURL != "" {
+		id, err := submitReport(*submitURL, *submitter, rep)
+		if err != nil {
+			return fmt.Errorf("submitting report: %w", err)
+		}
+		fmt.Printf("submitted to %s as id %d\n", *submitURL, id)
+	}
+	return nil
+}
+
+// submitReport POSTs the report to a results-database service.
+func submitReport(baseURL, submitter string, rep *report.Report) (int64, error) {
+	body, err := json.Marshal(resultsdb.Submission{
+		Submitter:   submitter,
+		Environment: fmt.Sprintf("go/%s %s", runtime.Version(), runtime.GOARCH),
+		Report:      rep,
+	})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post(strings.TrimSuffix(baseURL, "/")+"/api/v1/submissions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return 0, fmt.Errorf("results database returned %s", resp.Status)
+	}
+	var created map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		return 0, err
+	}
+	return created["id"], nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func buildPlatforms(names []string, props *config.Properties) ([]platform.Platform, error) {
+	var out []platform.Platform
+	for _, name := range names {
+		mem, err := props.Int64("platform."+name+".memory", 0)
+		if err != nil {
+			return nil, err
+		}
+		switch name {
+		case "pregel":
+			out = append(out, graphalytics.NewPregel(graphalytics.PregelOptions{MemoryBudget: mem}))
+		case "mapreduce":
+			out = append(out, graphalytics.NewMapReduce(graphalytics.MapReduceOptions{}))
+		case "dataflow":
+			out = append(out, graphalytics.NewDataflow(graphalytics.DataflowOptions{MemoryBudget: mem}))
+		case "graphdb":
+			out = append(out, graphalytics.NewGraphDB(graphalytics.GraphDBOptions{MemoryBudget: mem}))
+		default:
+			return nil, fmt.Errorf("unknown platform %q", name)
+		}
+	}
+	return out, nil
+}
+
+func parseAlgorithms(names []string) ([]algo.Kind, error) {
+	var out []algo.Kind
+	for _, n := range names {
+		k, err := algo.ParseKind(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func buildGraphs(specs []string, seed uint64) ([]*graph.Graph, error) {
+	var out []*graph.Graph
+	for _, spec := range specs {
+		kind, arg, _ := strings.Cut(spec, ":")
+		switch kind {
+		case "social":
+			n, err := strconv.Atoi(arg)
+			if err != nil {
+				return nil, fmt.Errorf("graph spec %q: %w", spec, err)
+			}
+			g, err := graphalytics.GenerateSocialNetwork(n, seed)
+			if err != nil {
+				return nil, err
+			}
+			g.SetName(fmt.Sprintf("social-%d", n))
+			out = append(out, g)
+		case "rmat":
+			scale, err := strconv.Atoi(arg)
+			if err != nil {
+				return nil, fmt.Errorf("graph spec %q: %w", spec, err)
+			}
+			g, err := graphalytics.GenerateRMAT(scale, 0, seed)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, g)
+		case "file":
+			g, err := graphalytics.LoadGraph(arg, "", false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, g)
+		case "amazon", "youtube", "livejournal", "patents", "wikipedia":
+			div := 0
+			if arg != "" {
+				d, err := strconv.Atoi(arg)
+				if err != nil {
+					return nil, fmt.Errorf("graph spec %q: %w", spec, err)
+				}
+				div = d
+			}
+			g, err := graphalytics.GenerateSurrogate(kind, div)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, g)
+		default:
+			return nil, fmt.Errorf("unknown graph spec %q", spec)
+		}
+	}
+	return out, nil
+}
+
+func writeReport(dir string, rep *report.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f4 := report.Figure4Table(rep.Results)
+	f5 := report.Figure5Table(rep.Results)
+	if err := os.WriteFile(filepath.Join(dir, "report.txt"), []byte(f4+"\n"+f5), 0o644); err != nil {
+		return err
+	}
+	csv, err := os.Create(filepath.Join(dir, "results.csv"))
+	if err != nil {
+		return err
+	}
+	if err := report.WriteCSV(csv, rep.Results); err != nil {
+		csv.Close()
+		return err
+	}
+	if err := csv.Close(); err != nil {
+		return err
+	}
+	js, err := os.Create(filepath.Join(dir, "report.json"))
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(js); err != nil {
+		js.Close()
+		return err
+	}
+	if err := js.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", dir)
+	fmt.Println()
+	fmt.Print(f4)
+	fmt.Println(f5)
+	return nil
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"graphalytics/internal/algo"
+	"graphalytics/internal/config"
+	"graphalytics/internal/report"
+	"graphalytics/internal/resultsdb"
+)
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"a,b,c", 3},
+		{" a , b ", 2},
+		{"", 0},
+		{",,", 0},
+	}
+	for _, c := range cases {
+		if got := splitList(c.in); len(got) != c.want {
+			t.Errorf("splitList(%q) = %v", c.in, got)
+		}
+	}
+}
+
+func TestParseAlgorithms(t *testing.T) {
+	algs, err := parseAlgorithms([]string{"BFS", "conn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algs[0] != algo.BFS || algs[1] != algo.CONN {
+		t.Errorf("algs = %v", algs)
+	}
+	if _, err := parseAlgorithms([]string{"pagerank"}); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestBuildPlatforms(t *testing.T) {
+	props := config.New()
+	props.Set("platform.dataflow.memory", "123456")
+	plats, err := buildPlatforms([]string{"pregel", "mapreduce", "dataflow", "graphdb"}, props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plats) != 4 {
+		t.Fatalf("platforms = %d", len(plats))
+	}
+	names := map[string]bool{}
+	for _, p := range plats {
+		names[p.Name()] = true
+	}
+	for _, want := range []string{"pregel", "mapreduce", "dataflow", "graphdb"} {
+		if !names[want] {
+			t.Errorf("missing platform %s", want)
+		}
+	}
+	if _, err := buildPlatforms([]string{"spark"}, props); err == nil {
+		t.Error("unknown platform should fail")
+	}
+	props.Set("platform.pregel.memory", "notanumber")
+	if _, err := buildPlatforms([]string{"pregel"}, props); err == nil {
+		t.Error("bad memory value should fail")
+	}
+}
+
+func TestBuildGraphs(t *testing.T) {
+	graphs, err := buildGraphs([]string{"social:500", "rmat:9", "amazon:512"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs) != 3 {
+		t.Fatalf("graphs = %d", len(graphs))
+	}
+	if graphs[0].NumVertices() != 500 {
+		t.Errorf("social vertices = %d", graphs[0].NumVertices())
+	}
+	if graphs[1].NumVertices() != 512 {
+		t.Errorf("rmat vertices = %d", graphs[1].NumVertices())
+	}
+	for _, bad := range []string{"social:x", "rmat:", "unknown:1", "amazon:x"} {
+		if _, err := buildGraphs([]string{bad}, 1); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+}
+
+func TestBuildGraphsFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.e")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	graphs, err := buildGraphs([]string{"file:" + path}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graphs[0].NumEdges() != 2 {
+		t.Errorf("file graph edges = %d", graphs[0].NumEdges())
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out")
+	rep := &report.Report{
+		Started:  time.Now(),
+		Finished: time.Now(),
+		Results: []report.RunResult{{
+			Platform: "pregel", Graph: "g", Algorithm: algo.BFS,
+			Status: report.StatusSuccess, Runtime: time.Second,
+		}},
+	}
+	if err := writeReport(dir, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"report.txt", "results.csv", "report.json"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s empty", name)
+		}
+	}
+	txt, _ := os.ReadFile(filepath.Join(dir, "report.txt"))
+	if !strings.Contains(string(txt), "BFS") {
+		t.Error("report.txt missing algorithm row")
+	}
+}
+
+func TestSubmitReport(t *testing.T) {
+	store := resultsdb.NewStore()
+	srv := httptest.NewServer(store.Handler())
+	defer srv.Close()
+	rep := &report.Report{
+		Started:  time.Now(),
+		Finished: time.Now(),
+		Results: []report.RunResult{{
+			Platform: "pregel", Graph: "g", Algorithm: algo.BFS,
+			Status: report.StatusSuccess, Runtime: time.Second,
+		}},
+	}
+	id, err := submitReport(srv.URL+"/", "tester", rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Errorf("id = %d", id)
+	}
+	sub, ok := store.Get(id)
+	if !ok || sub.Submitter != "tester" {
+		t.Fatalf("stored submission: %+v %v", sub, ok)
+	}
+	// Rejected submission surfaces the HTTP status.
+	if _, err := submitReport(srv.URL, "", &report.Report{}); err == nil {
+		t.Error("empty report should fail")
+	}
+}

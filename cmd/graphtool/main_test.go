@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"graphalytics/internal/gen/datagen"
+)
+
+func TestCharacterizeOutput(t *testing.T) {
+	g, err := datagen.Generate(datagen.Config{Persons: 500, Seed: 1, Name: "tool-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := characterizeTo(&sb, g, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"tool-test", "nodes", "edges", "global CC", "assortativity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "degree-distribution fits") {
+		t.Error("fits printed without -fit")
+	}
+}
+
+func TestCharacterizeWithFits(t *testing.T) {
+	g, err := datagen.Generate(datagen.Config{Persons: 800, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := characterizeTo(&sb, g, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"degree-distribution fits", "zeta", "geometric", "weibull", "poisson", "KS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

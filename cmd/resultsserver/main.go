@@ -1,0 +1,56 @@
+// Command resultsserver hosts the Graphalytics results database
+// (Figure 2: "a database for Results that is hosted by us online and
+// accepts results submissions from Graphalytics users").
+//
+// Usage:
+//
+//	resultsserver -addr :8080 -store results.json
+//
+// The benchmark driver submits with:
+//
+//	graphalytics -submit http://host:8080 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"graphalytics/internal/resultsdb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "resultsserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		store = flag.String("store", "results.json", "persistence file (empty = memory only)")
+	)
+	flag.Parse()
+
+	var db *resultsdb.Store
+	var err error
+	if *store == "" {
+		db = resultsdb.NewStore()
+	} else {
+		db, err = resultsdb.OpenStore(*store)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("results database listening on %s (store: %s)\n", *addr, storeDesc(*store))
+	return http.ListenAndServe(*addr, db.Handler())
+}
+
+func storeDesc(path string) string {
+	if path == "" {
+		return "memory"
+	}
+	return path
+}

@@ -1,0 +1,76 @@
+// Results database walkthrough: run a small benchmark, submit the
+// report to an in-process results service over HTTP (Figure 2's public
+// "database for Results"), and query the cross-submission leaderboard.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"graphalytics"
+	"graphalytics/internal/resultsdb"
+)
+
+func main() {
+	// 1. Produce a report worth submitting.
+	g, err := graphalytics.GenerateSocialNetwork(2000, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g.SetName("snb-demo")
+	bench := &graphalytics.Benchmark{
+		Platforms: []graphalytics.Platform{
+			graphalytics.NewPregel(graphalytics.PregelOptions{}),
+			graphalytics.NewGraphDB(graphalytics.GraphDBOptions{}),
+		},
+		Graphs:     []*graphalytics.Graph{g},
+		Algorithms: []graphalytics.Algorithm{graphalytics.BFS, graphalytics.CONN},
+		Validate:   true,
+	}
+	rep, err := bench.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("benchmark:", rep.Summary())
+
+	// 2. Host the results service (in-process for the example; the same
+	//    handler serves a real listener in production).
+	store := resultsdb.NewStore()
+	server := httptest.NewServer(store.Handler())
+	defer server.Close()
+
+	// 3. Submit over HTTP.
+	body, _ := json.Marshal(resultsdb.Submission{
+		Submitter:   "examples/resultsserver",
+		Environment: "laptop, in-process engines",
+		Report:      rep,
+	})
+	resp, err := http.Post(server.URL+"/api/v1/submissions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var created map[string]int64
+	json.NewDecoder(resp.Body).Decode(&created)
+	resp.Body.Close()
+	fmt.Printf("submitted as id %d\n", created["id"])
+
+	// 4. Query the leaderboard for CONN on our graph.
+	resp, err = http.Get(server.URL + "/api/v1/compare?graph=snb-demo&algorithm=CONN")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cmp resultsdb.Comparison
+	json.NewDecoder(resp.Body).Decode(&cmp)
+	resp.Body.Close()
+
+	fmt.Println("leaderboard (CONN on snb-demo):")
+	for platform, best := range cmp.Best {
+		fmt.Printf("  %-10s %8.1f ms  (%0.f kTEPS, submission %d by %s)\n",
+			platform, best.RuntimeMS, best.KTEPS, best.SubmissionID, best.Submitter)
+	}
+}

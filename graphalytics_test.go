@@ -1,0 +1,214 @@
+// Integration tests of the public facade: the API surface a downstream
+// user programs against.
+package graphalytics_test
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"graphalytics"
+)
+
+func TestFacadeGenerators(t *testing.T) {
+	sn, err := graphalytics.GenerateSocialNetwork(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.NumVertices() != 1000 || sn.Directed() {
+		t.Errorf("social network: %v", sn)
+	}
+
+	rm, err := graphalytics.GenerateRMAT(10, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.NumVertices() != 1024 {
+		t.Errorf("rmat: %v", rm)
+	}
+
+	sur, err := graphalytics.GenerateSurrogate("amazon", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sur.Name() != "amazon" {
+		t.Errorf("surrogate: %v", sur)
+	}
+	if _, err := graphalytics.GenerateSurrogate("nope", 0); err == nil {
+		t.Error("unknown surrogate should fail")
+	}
+}
+
+func TestFacadeDegreePlugins(t *testing.T) {
+	z, err := graphalytics.NewZetaDegrees(1.7, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graphalytics.GenerateSocialNetworkConfig(graphalytics.DatagenConfig{
+		Persons: 800, Seed: 3, Degrees: z, Name: "zeta-sn",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "zeta-sn" {
+		t.Errorf("name = %q", g.Name())
+	}
+	if _, err := graphalytics.NewGeometricDegrees(2, 0); err == nil {
+		t.Error("invalid geometric parameter should fail")
+	}
+}
+
+func TestFacadeLoadSaveRoundTrip(t *testing.T) {
+	g, err := graphalytics.GenerateSocialNetwork(300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := filepath.Join(t.TempDir(), "g")
+	if err := g.SaveFiles(prefix); err != nil {
+		t.Fatal(err)
+	}
+	back, err := graphalytics.LoadGraph(prefix+".e", prefix+".v", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %v vs %v", back, g)
+	}
+	if _, err := graphalytics.LoadGraph(filepath.Join(t.TempDir(), "missing.e"), "", false); err == nil {
+		t.Error("missing file should fail")
+	}
+	_ = os.Remove(prefix + ".e")
+}
+
+func TestFacadeMeasureAndRewire(t *testing.T) {
+	g, err := graphalytics.GenerateSocialNetwork(600, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := graphalytics.Measure(g)
+	if before.Vertices != 600 {
+		t.Fatalf("measure: %+v", before)
+	}
+	rewired, err := graphalytics.Rewire(g, graphalytics.RewireTarget{
+		AvgCC: before.AvgCC + 0.1, MaxSwaps: 20000, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := graphalytics.Measure(rewired)
+	if after.AvgCC <= before.AvgCC {
+		t.Errorf("rewire did not raise clustering: %.4f -> %.4f", before.AvgCC, after.AvgCC)
+	}
+	if after.Edges != before.Edges {
+		t.Errorf("rewire changed edge count")
+	}
+}
+
+func TestFacadeReferenceImplementations(t *testing.T) {
+	g, err := graphalytics.GenerateSocialNetwork(400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depths := graphalytics.RunReferenceBFS(g, 0)
+	if len(depths) != 400 || depths[0] != 0 {
+		t.Errorf("BFS: len %d, d0 %d", len(depths), depths[0])
+	}
+	st := graphalytics.RunReferenceStats(g)
+	if st.Vertices != 400 {
+		t.Errorf("stats: %+v", st)
+	}
+	conn := graphalytics.RunReferenceConn(g)
+	if len(conn) != 400 {
+		t.Errorf("conn: %d", len(conn))
+	}
+	params := graphalytics.Params{Seed: 4}
+	cd := graphalytics.RunReferenceCD(g, params)
+	if q := graphalytics.Modularity(g, cd); q < -1 || q > 1 {
+		t.Errorf("modularity %v", q)
+	}
+	evo := graphalytics.RunReferenceEvo(g, params)
+	if evo.NewVertices < 1 {
+		t.Errorf("evo: %+v", evo)
+	}
+}
+
+func TestFacadeEndToEndBenchmark(t *testing.T) {
+	g, err := graphalytics.GenerateSocialNetwork(400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetName("facade")
+	bench := &graphalytics.Benchmark{
+		Platforms:  []graphalytics.Platform{graphalytics.NewPregel(graphalytics.PregelOptions{})},
+		Graphs:     []*graphalytics.Graph{g},
+		Algorithms: []graphalytics.Algorithm{graphalytics.BFS, graphalytics.STATS},
+		Params:     graphalytics.Params{Source: 0, Seed: 13},
+		Timeout:    time.Minute,
+		Validate:   true,
+	}
+	rep, err := bench.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results: %d", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if !r.Validation.Valid {
+			t.Errorf("%s invalid: %s", r.Algorithm, r.Validation.Detail)
+		}
+	}
+	table := graphalytics.Figure4Table(rep.Results)
+	if table == "" {
+		t.Error("empty Figure 4 table")
+	}
+	if graphalytics.Figure5Table(rep.Results) == "" {
+		t.Error("empty Figure 5 table")
+	}
+}
+
+// Cross-platform determinism at the facade level: the same algorithm on
+// two different platforms yields identical outputs (the paper's fair
+// comparison requirement).
+func TestFacadeCrossPlatformEquality(t *testing.T) {
+	g, err := graphalytics.GenerateSocialNetwork(500, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := graphalytics.Params{Source: 3, Seed: 17}
+	run := func(p graphalytics.Platform) any {
+		loaded, err := p.LoadGraph(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer loaded.Close()
+		res, err := loaded.Run(context.Background(), graphalytics.CD, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Output
+	}
+	a := run(graphalytics.NewPregel(graphalytics.PregelOptions{}))
+	b := run(graphalytics.NewGraphDB(graphalytics.GraphDBOptions{}))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("pregel and graphdb CD outputs differ")
+	}
+}
+
+func TestFacadeStatsAgreesWithMeasure(t *testing.T) {
+	// Two independent code paths to the mean LCC: the STATS workload
+	// spec and the Table 1 metrics on an undirected graph must agree.
+	g, err := graphalytics.GenerateSocialNetwork(300, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := graphalytics.RunReferenceStats(g)
+	m := graphalytics.Measure(g)
+	if math.Abs(st.MeanLCC-m.AvgCC) > 1e-9 {
+		t.Errorf("STATS MeanLCC %.9f != gmetrics AvgCC %.9f", st.MeanLCC, m.AvgCC)
+	}
+}

@@ -1,0 +1,146 @@
+// Package algo defines the five Graphalytics workload algorithms (§3.2)
+// and provides their sequential reference implementations, which serve as
+// the gold standard the Output Validator checks every platform against:
+//
+//   - STATS: vertex/edge counts and mean local clustering coefficient;
+//   - BFS:   breadth-first search depths from a seed vertex;
+//   - CONN:  connected components (weakly connected for directed graphs);
+//   - CD:    community detection by Leung et al. label propagation with
+//     hop attenuation and node-degree preference;
+//   - EVO:   graph evolution prediction with the Leskovec et al.
+//     forest-fire model.
+//
+// Every algorithm is specified deterministically (fixed iteration styles,
+// ordered tie-breaking, per-entity seeded randomness) so that all four
+// platform implementations produce byte-identical outputs — the property
+// that makes exact output validation possible.
+package algo
+
+import (
+	"fmt"
+
+	"graphalytics/internal/graph"
+)
+
+// Kind names a workload algorithm.
+type Kind string
+
+// The five Graphalytics algorithms.
+const (
+	STATS Kind = "STATS"
+	BFS   Kind = "BFS"
+	CONN  Kind = "CONN"
+	CD    Kind = "CD"
+	EVO   Kind = "EVO"
+)
+
+// Kinds lists all algorithms in the paper's reporting order.
+var Kinds = []Kind{BFS, CD, CONN, EVO, STATS}
+
+// ParseKind converts a string (any case) to a Kind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds {
+		if string(k) == s || lower(string(k)) == lower(s) {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("algo: unknown algorithm %q", s)
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// Params carries per-algorithm parameters. Zero values select the
+// benchmark defaults.
+type Params struct {
+	// Source is the BFS seed vertex.
+	Source graph.VertexID
+
+	// CDIterations caps label-propagation rounds (default 10).
+	CDIterations int
+	// CDDelta is the Leung hop attenuation δ (default 0.05).
+	CDDelta float64
+	// CDPreference is the node preference exponent m on degree
+	// (default 0.1, the value Leung et al. recommend).
+	CDPreference float64
+
+	// EvoNewVertices is the number of vertices EVO adds (default
+	// max(1, |V|/100)).
+	EvoNewVertices int
+	// EvoPForward is the forward burning probability (default 0.35).
+	EvoPForward float64
+	// EvoRBackward is the backward burning ratio (default 0.32).
+	EvoRBackward float64
+	// EvoMaxBurn caps the vertices burned per fire (default 4096).
+	EvoMaxBurn int
+	// Seed drives EVO's randomized burning.
+	Seed uint64
+
+	// MaxIterations is a safety bound for fixpoint algorithms
+	// (default 2×|V|+1 supersteps; CONN always converges sooner).
+	MaxIterations int
+}
+
+// WithDefaults returns p with zero fields replaced by the benchmark
+// defaults for a graph with n vertices.
+func (p Params) WithDefaults(n int) Params {
+	if p.CDIterations <= 0 {
+		p.CDIterations = 10
+	}
+	if p.CDDelta == 0 {
+		p.CDDelta = 0.05
+	}
+	if p.CDPreference == 0 {
+		p.CDPreference = 0.1
+	}
+	if p.EvoNewVertices <= 0 {
+		p.EvoNewVertices = n / 100
+		if p.EvoNewVertices < 1 {
+			p.EvoNewVertices = 1
+		}
+	}
+	if p.EvoPForward == 0 {
+		p.EvoPForward = 0.35
+	}
+	if p.EvoRBackward == 0 {
+		p.EvoRBackward = 0.32
+	}
+	if p.EvoMaxBurn <= 0 {
+		p.EvoMaxBurn = 4096
+	}
+	if p.MaxIterations <= 0 {
+		p.MaxIterations = 2*n + 1
+	}
+	return p
+}
+
+// StatsOutput is the STATS result.
+type StatsOutput struct {
+	Vertices int
+	Edges    int64
+	MeanLCC  float64
+}
+
+// BFSOutput holds the BFS depth of every vertex (-1 = unreachable).
+type BFSOutput []int64
+
+// ConnOutput holds, per vertex, the smallest vertex ID in its component.
+type ConnOutput []graph.VertexID
+
+// CDOutput holds the community label of every vertex (labels are vertex
+// IDs of community "founders").
+type CDOutput []int64
+
+// EvoOutput is the EVO result: the vertices added and the new edges
+// created, sorted lexicographically.
+type EvoOutput struct {
+	NewVertices int
+	Edges       [][2]graph.VertexID
+}

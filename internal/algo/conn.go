@@ -1,0 +1,58 @@
+package algo
+
+import "graphalytics/internal/graph"
+
+// RunConn computes the CONN workload: for every vertex, the smallest
+// vertex ID in its connected component (weakly connected for directed
+// graphs — the HashMin fixpoint every platform implements). The
+// reference implementation uses union-find, which produces the identical
+// labeling in near-linear time.
+func RunConn(g *graph.Graph) ConnOutput {
+	n := g.NumVertices()
+	parent := make([]graph.VertexID, n)
+	for i := range parent {
+		parent[i] = graph.VertexID(i)
+	}
+	var find func(graph.VertexID) graph.VertexID
+	find = func(v graph.VertexID) graph.VertexID {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]] // path halving
+			v = parent[v]
+		}
+		return v
+	}
+	union := func(a, b graph.VertexID) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		// Union by min ID keeps the invariant root = smallest member, so
+		// no relabeling pass is needed.
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	g.Arcs(union)
+
+	labels := make(ConnOutput, n)
+	for v := 0; v < n; v++ {
+		labels[v] = find(graph.VertexID(v))
+	}
+	return labels
+}
+
+// ComponentSizes returns a map component label -> size.
+func ComponentSizes(labels ConnOutput) map[graph.VertexID]int {
+	sizes := make(map[graph.VertexID]int)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	return sizes
+}
+
+// NumComponents returns the number of connected components.
+func NumComponents(labels ConnOutput) int {
+	return len(ComponentSizes(labels))
+}

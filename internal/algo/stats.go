@@ -1,0 +1,112 @@
+package algo
+
+import (
+	"runtime"
+	"sync"
+
+	"graphalytics/internal/graph"
+)
+
+// RunStats computes the STATS workload: |V|, |E| and the mean local
+// clustering coefficient.
+//
+// Specification (identical across all platforms): for vertex v let
+// N(v) = (out-neighbors ∪ in-neighbors) \ {v} and d = |N(v)|. The LCC of
+// v is the number of ordered pairs (u, w) ∈ N(v)², u ≠ w, with an arc
+// u→w, divided by d(d−1); vertices with d < 2 have LCC 0. On a
+// symmetrized undirected graph this equals the classic undirected LCC.
+// MeanLCC averages over every vertex.
+func RunStats(g *graph.Graph) StatsOutput {
+	n := g.NumVertices()
+	out := StatsOutput{Vertices: n, Edges: g.NumEdges()}
+	if n == 0 {
+		return out
+	}
+	sums := parallelLCCSums(g)
+	var total float64
+	for _, s := range sums {
+		total += s
+	}
+	out.MeanLCC = total / float64(n)
+	return out
+}
+
+// LocalCC returns the per-vertex local clustering coefficients under the
+// STATS specification.
+func LocalCC(g *graph.Graph) []float64 {
+	return parallelLCCSums(g)
+}
+
+func parallelLCCSums(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	lcc := make([]float64, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var nbuf []graph.VertexID
+			for v := lo; v < hi; v++ {
+				nbuf = g.Neighborhood(graph.VertexID(v), nbuf[:0])
+				lcc[v] = lccOf(g, graph.VertexID(v), nbuf)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return lcc
+}
+
+// lccOf computes the LCC of v given its sorted neighborhood.
+func lccOf(g *graph.Graph, v graph.VertexID, nbh []graph.VertexID) float64 {
+	d := len(nbh)
+	if d < 2 {
+		return 0
+	}
+	var links int64
+	for _, u := range nbh {
+		links += sortedIntersectExcluding(g.OutNeighbors(u), nbh, u)
+	}
+	return float64(links) / (float64(d) * float64(d-1))
+}
+
+// CountClosedPairs counts, given the sorted out-adjacency of a vertex u
+// and the sorted neighborhood of another vertex, the elements common to
+// both excluding u itself. It is the STATS arithmetic kernel shared by
+// every platform implementation so numerators are identical everywhere.
+func CountClosedPairs(outU, neighborhood []graph.VertexID, u graph.VertexID) int64 {
+	return sortedIntersectExcluding(outU, neighborhood, u)
+}
+
+// sortedIntersectExcluding counts elements common to the two sorted
+// lists, excluding the value skip (no self-pairs).
+func sortedIntersectExcluding(a, b []graph.VertexID, skip graph.VertexID) int64 {
+	var c int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			if a[i] != skip {
+				c++
+			}
+			i++
+			j++
+		}
+	}
+	return c
+}

@@ -1,0 +1,348 @@
+// Package codequality implements the §3.5 practice of the paper:
+// "in Graphalytics, the code for the reference implementations is
+// accompanied by code quality reports, such as code complexity, bugs
+// discovered through static analysis, etc."
+//
+// The analyzer (a SonarQube stand-in built on go/ast) measures, per
+// package and per function: cyclomatic complexity, maximum nesting
+// depth, function length, comment density, and a set of static
+// bug-pattern checks (empty branch bodies, self-assignments, constant
+// conditions, shadowed error variables). The repository's own reference
+// implementations are the analysis target, closing the loop the paper
+// describes.
+package codequality
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FunctionReport holds the metrics of one function.
+type FunctionReport struct {
+	Package    string
+	File       string
+	Name       string
+	Line       int
+	Complexity int // cyclomatic complexity
+	MaxNesting int
+	Lines      int
+}
+
+// Issue is one static-analysis finding.
+type Issue struct {
+	File    string
+	Line    int
+	Rule    string
+	Message string
+}
+
+// PackageReport aggregates one package's metrics.
+type PackageReport struct {
+	Package        string
+	Files          int
+	Lines          int
+	CommentLines   int
+	Functions      []FunctionReport
+	Issues         []Issue
+	MeanComplexity float64
+	MaxComplexity  int
+}
+
+// Report is a whole-tree analysis result.
+type Report struct {
+	Packages []PackageReport
+}
+
+// AnalyzeDir analyzes every non-test Go file under root (recursively,
+// skipping vendor and hidden directories).
+func AnalyzeDir(root string) (*Report, error) {
+	byPkg := map[string]*PackageReport{}
+	fset := token.NewFileSet()
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path == root {
+				return nil // never skip the analysis root itself
+			}
+			name := d.Name()
+			if strings.HasPrefix(name, ".") || name == "vendor" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("codequality: %s: %w", path, err)
+		}
+		pkgPath := filepath.Dir(path)
+		pr, ok := byPkg[pkgPath]
+		if !ok {
+			pr = &PackageReport{Package: pkgPath}
+			byPkg[pkgPath] = pr
+		}
+		analyzeFile(fset, path, file, pr)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{}
+	keys := make([]string, 0, len(byPkg))
+	for k := range byPkg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pr := byPkg[k]
+		var total int
+		for _, f := range pr.Functions {
+			total += f.Complexity
+			if f.Complexity > pr.MaxComplexity {
+				pr.MaxComplexity = f.Complexity
+			}
+		}
+		if len(pr.Functions) > 0 {
+			pr.MeanComplexity = float64(total) / float64(len(pr.Functions))
+		}
+		sort.Slice(pr.Issues, func(i, j int) bool {
+			if pr.Issues[i].File != pr.Issues[j].File {
+				return pr.Issues[i].File < pr.Issues[j].File
+			}
+			return pr.Issues[i].Line < pr.Issues[j].Line
+		})
+		rep.Packages = append(rep.Packages, *pr)
+	}
+	return rep, nil
+}
+
+func analyzeFile(fset *token.FileSet, path string, file *ast.File, pr *PackageReport) {
+	pr.Files++
+	tf := fset.File(file.Pos())
+	pr.Lines += tf.LineCount()
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			pr.CommentLines += strings.Count(c.Text, "\n") + 1
+		}
+	}
+
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		start := fset.Position(fn.Pos())
+		end := fset.Position(fn.End())
+		fr := FunctionReport{
+			Package:    pr.Package,
+			File:       filepath.Base(path),
+			Name:       funcName(fn),
+			Line:       start.Line,
+			Complexity: cyclomatic(fn),
+			MaxNesting: maxNesting(fn.Body, 0),
+			Lines:      end.Line - start.Line + 1,
+		}
+		pr.Functions = append(pr.Functions, fr)
+	}
+	pr.Issues = append(pr.Issues, lintFile(fset, path, file)...)
+}
+
+func funcName(fn *ast.FuncDecl) string {
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		return fmt.Sprintf("(%s).%s", typeName(fn.Recv.List[0].Type), fn.Name.Name)
+	}
+	return fn.Name.Name
+}
+
+func typeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "*" + typeName(t.X)
+	case *ast.IndexExpr:
+		return typeName(t.X)
+	case *ast.IndexListExpr:
+		return typeName(t.X)
+	default:
+		return "?"
+	}
+}
+
+// cyclomatic computes McCabe complexity: 1 + decision points.
+func cyclomatic(fn *ast.FuncDecl) int {
+	c := 1
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.CaseClause, *ast.CommClause:
+			c++
+		case *ast.BinaryExpr:
+			if node.Op == token.LAND || node.Op == token.LOR {
+				c++
+			}
+		}
+		return true
+	})
+	return c
+}
+
+// maxNesting returns the deepest block nesting within body.
+func maxNesting(body ast.Node, depth int) int {
+	max := depth
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			if d := maxNesting(s.Body, depth+1); d > max {
+				max = d
+			}
+			if s.Else != nil {
+				if d := maxNesting(s.Else, depth+1); d > max {
+					max = d
+				}
+			}
+			return false
+		case *ast.ForStmt:
+			if d := maxNesting(s.Body, depth+1); d > max {
+				max = d
+			}
+			return false
+		case *ast.RangeStmt:
+			if d := maxNesting(s.Body, depth+1); d > max {
+				max = d
+			}
+			return false
+		case *ast.SwitchStmt:
+			if d := maxNesting(s.Body, depth+1); d > max {
+				max = d
+			}
+			return false
+		case *ast.TypeSwitchStmt:
+			if d := maxNesting(s.Body, depth+1); d > max {
+				max = d
+			}
+			return false
+		case *ast.SelectStmt:
+			if d := maxNesting(s.Body, depth+1); d > max {
+				max = d
+			}
+			return false
+		}
+		return true
+	})
+	return max
+}
+
+// lintFile runs the bug-pattern checks.
+func lintFile(fset *token.FileSet, path string, file *ast.File) []Issue {
+	var issues []Issue
+	add := func(pos token.Pos, rule, msg string) {
+		p := fset.Position(pos)
+		issues = append(issues, Issue{File: filepath.Base(path), Line: p.Line, Rule: rule, Message: msg})
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.IfStmt:
+			// empty-branch: `if cond { }`.
+			if len(node.Body.List) == 0 {
+				add(node.Pos(), "empty-branch", "if statement with empty body")
+			}
+			// constant-condition: `if true` / `if false`.
+			if id, ok := node.Cond.(*ast.Ident); ok && (id.Name == "true" || id.Name == "false") {
+				add(node.Pos(), "constant-condition", "condition is the constant "+id.Name)
+			}
+		case *ast.AssignStmt:
+			// self-assignment: `x = x`.
+			if node.Tok == token.ASSIGN && len(node.Lhs) == len(node.Rhs) {
+				for i := range node.Lhs {
+					if sameIdent(node.Lhs[i], node.Rhs[i]) {
+						add(node.Pos(), "self-assignment", "value assigned to itself")
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			// identical-operands: `x == x`, `x != x`, `x - x` on identifiers.
+			switch node.Op {
+			case token.EQL, token.NEQ, token.SUB, token.QUO:
+				if sameIdent(node.X, node.Y) {
+					add(node.Pos(), "identical-operands", "both operands of "+node.Op.String()+" are identical")
+				}
+			}
+		}
+		return true
+	})
+	return issues
+}
+
+func sameIdent(a, b ast.Expr) bool {
+	ia, okA := a.(*ast.Ident)
+	ib, okB := b.(*ast.Ident)
+	return okA && okB && ia.Name == ib.Name && ia.Name != "_"
+}
+
+// Render writes a human-readable report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-46s %5s %7s %8s %9s %6s\n", "package", "files", "lines", "comment%", "mean-cplx", "issues")
+	var files, lines, comments, issues int
+	for _, p := range r.Packages {
+		ratio := 0.0
+		if p.Lines > 0 {
+			ratio = 100 * float64(p.CommentLines) / float64(p.Lines)
+		}
+		fmt.Fprintf(&b, "%-46s %5d %7d %7.1f%% %9.2f %6d\n",
+			p.Package, p.Files, p.Lines, ratio, p.MeanComplexity, len(p.Issues))
+		files += p.Files
+		lines += p.Lines
+		comments += p.CommentLines
+		issues += len(p.Issues)
+	}
+	fmt.Fprintf(&b, "%-46s %5d %7d %7.1f%% %9s %6d\n", "TOTAL", files, lines,
+		100*float64(comments)/float64(maxInt(lines, 1)), "", issues)
+	return b.String()
+}
+
+// WorstFunctions returns the k highest-complexity functions tree-wide.
+func (r *Report) WorstFunctions(k int) []FunctionReport {
+	var all []FunctionReport
+	for _, p := range r.Packages {
+		all = append(all, p.Functions...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Complexity != all[j].Complexity {
+			return all[i].Complexity > all[j].Complexity
+		}
+		return all[i].Name < all[j].Name
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// AllIssues returns every finding tree-wide.
+func (r *Report) AllIssues() []Issue {
+	var out []Issue
+	for _, p := range r.Packages {
+		out = append(out, p.Issues...)
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

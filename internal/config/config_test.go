@@ -1,0 +1,137 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadBasics(t *testing.T) {
+	src := `
+# comment
+! also a comment
+benchmark.run.algorithms = BFS, CONN , CD
+benchmark.run.timeout = 30s
+graphs.root: /data/graphs
+workers = 8
+ratio = 0.5
+verbose = true
+long.value = a\
+b\
+c
+`
+	p, err := Load(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.List("benchmark.run.algorithms"); len(got) != 3 || got[0] != "BFS" || got[2] != "CD" {
+		t.Errorf("List = %v", got)
+	}
+	if d, err := p.Duration("benchmark.run.timeout", 0); err != nil || d != 30*time.Second {
+		t.Errorf("Duration = %v, %v", d, err)
+	}
+	if v := p.String("graphs.root", ""); v != "/data/graphs" {
+		t.Errorf("colon separator: %q", v)
+	}
+	if n, err := p.Int("workers", 0); err != nil || n != 8 {
+		t.Errorf("Int = %d, %v", n, err)
+	}
+	if f, err := p.Float("ratio", 0); err != nil || f != 0.5 {
+		t.Errorf("Float = %v, %v", f, err)
+	}
+	if b, err := p.Bool("verbose", false); err != nil || !b {
+		t.Errorf("Bool = %v, %v", b, err)
+	}
+	if v := p.String("long.value", ""); v != "abc" {
+		t.Errorf("continuation: %q", v)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := New()
+	if v := p.String("missing", "dflt"); v != "dflt" {
+		t.Errorf("String default: %q", v)
+	}
+	if n, err := p.Int("missing", 42); err != nil || n != 42 {
+		t.Errorf("Int default: %d %v", n, err)
+	}
+	if d, err := p.Duration("missing", time.Minute); err != nil || d != time.Minute {
+		t.Errorf("Duration default: %v %v", d, err)
+	}
+	if p.List("missing") != nil {
+		t.Error("List default should be nil")
+	}
+	if p.Has("missing") {
+		t.Error("Has on missing key")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"novalue\n",
+		"= bare\n",
+		"dangling = x\\\n",
+	}
+	for _, src := range cases {
+		if _, err := Load(strings.NewReader(src)); err == nil {
+			t.Errorf("Load(%q) should fail", src)
+		}
+	}
+	p := New()
+	p.Set("x", "notanint")
+	if _, err := p.Int("x", 0); err == nil {
+		t.Error("Int on garbage should fail")
+	}
+	if _, err := p.Bool("x", false); err == nil {
+		t.Error("Bool on garbage should fail")
+	}
+	if _, err := p.Float("x", 0); err == nil {
+		t.Error("Float on garbage should fail")
+	}
+	if _, err := p.Duration("x", 0); err == nil {
+		t.Error("Duration on garbage should fail")
+	}
+}
+
+func TestWithPrefix(t *testing.T) {
+	p := New()
+	p.Set("benchmark.run.algorithms", "BFS")
+	p.Set("benchmark.run.graphs", "patents")
+	p.Set("platform.pregel.workers", "4")
+	sub := p.WithPrefix("benchmark.run")
+	if !sub.Has("algorithms") || !sub.Has("graphs") || sub.Has("platform.pregel.workers") {
+		t.Errorf("WithPrefix keys = %v", sub.Keys())
+	}
+}
+
+func TestSetOverridesAndKeysOrder(t *testing.T) {
+	p := New()
+	p.Set("a", "1")
+	p.Set("b", "2")
+	p.Set("a", "3")
+	if v := p.String("a", ""); v != "3" {
+		t.Errorf("override: %q", v)
+	}
+	keys := p.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	p := New()
+	p.Set("z.key", "val1")
+	p.Set("a.key", "val2")
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.String("z.key", "") != "val1" || p2.String("a.key", "") != "val2" {
+		t.Errorf("round trip failed: %v", p2.Keys())
+	}
+}

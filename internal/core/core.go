@@ -1,0 +1,167 @@
+// Package core implements the Benchmark Core of the Graphalytics
+// architecture (Figure 2): "the benchmark harness that binds together
+// Graphalytics". It drives the full run matrix (platforms × graphs ×
+// algorithms), times each execution excluding ETL (§3.3: "The runtime
+// measures the complete execution of an algorithm, from job submission
+// to result availability, but does not include ETL"), enforces per-run
+// timeouts, captures failures as missing values, validates every output
+// against the reference implementations, monitors the system during
+// runs, and hands the results to the Report Generator.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"graphalytics/internal/algo"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/monitor"
+	"graphalytics/internal/platform"
+	"graphalytics/internal/report"
+	"graphalytics/internal/validation"
+)
+
+// Benchmark is one configured benchmark campaign.
+type Benchmark struct {
+	// Platforms are the systems under test.
+	Platforms []platform.Platform
+	// Graphs are the datasets.
+	Graphs []*graph.Graph
+	// Algorithms is the workload selection (nil = all five).
+	Algorithms []algo.Kind
+	// Params carries algorithm parameters (zero fields take defaults).
+	Params algo.Params
+	// Timeout bounds each algorithm execution (0 = no timeout). Timed
+	// out cells appear as missing values, the way the paper reports
+	// "Due to time constraints, MapReduce was not able to complete some
+	// algorithms on Graph500".
+	Timeout time.Duration
+	// Validate enables the Output Validator on every successful run.
+	Validate bool
+	// MonitorInterval sets the System Monitor sampling period
+	// (0 disables monitoring).
+	MonitorInterval time.Duration
+	// Progress, when non-nil, receives a line per completed run.
+	Progress func(r report.RunResult)
+}
+
+// Run executes the full matrix and returns the report. The context
+// cancels the whole campaign.
+func (b *Benchmark) Run(ctx context.Context) (*report.Report, error) {
+	if len(b.Platforms) == 0 {
+		return nil, errors.New("core: no platforms configured")
+	}
+	if len(b.Graphs) == 0 {
+		return nil, errors.New("core: no graphs configured")
+	}
+	algs := b.Algorithms
+	if len(algs) == 0 {
+		algs = algo.Kinds
+	}
+
+	rep := &report.Report{Started: time.Now()}
+	for _, p := range b.Platforms {
+		for _, g := range b.Graphs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			b.runGraph(ctx, p, g, algs, rep)
+		}
+	}
+	rep.Finished = time.Now()
+	return rep, nil
+}
+
+// runGraph loads g on p (ETL, untimed) and executes all algorithms.
+func (b *Benchmark) runGraph(ctx context.Context, p platform.Platform, g *graph.Graph, algs []algo.Kind, rep *report.Report) {
+	loadStart := time.Now()
+	loaded, err := p.LoadGraph(g)
+	loadTime := time.Since(loadStart)
+	if err != nil {
+		// ETL failure: every cell of this (platform, graph) pair is a
+		// missing value (the Neo4j/GraphX behaviour on oversized graphs).
+		for _, a := range algs {
+			r := report.RunResult{
+				Platform: p.Name(), Graph: g.Name(), Algorithm: a,
+				Status: report.StatusLoadError, LoadTime: loadTime,
+				GraphEdges: g.NumEdges(), Err: err.Error(),
+			}
+			if errors.Is(err, platform.ErrOutOfMemory) {
+				r.Status = report.StatusOOM
+			}
+			b.record(rep, r)
+		}
+		return
+	}
+	defer loaded.Close()
+
+	for _, a := range algs {
+		if ctx.Err() != nil {
+			return
+		}
+		b.record(rep, b.runOne(ctx, p, loaded, g, a, loadTime))
+	}
+}
+
+// runOne executes one cell of the matrix.
+func (b *Benchmark) runOne(ctx context.Context, p platform.Platform, loaded platform.Loaded, g *graph.Graph, a algo.Kind, loadTime time.Duration) report.RunResult {
+	r := report.RunResult{
+		Platform: p.Name(), Graph: g.Name(), Algorithm: a,
+		LoadTime: loadTime, GraphEdges: g.NumEdges(),
+	}
+	runCtx := ctx
+	cancel := func() {}
+	if b.Timeout > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, b.Timeout)
+	}
+	defer cancel()
+
+	var mon *monitor.Monitor
+	if b.MonitorInterval > 0 {
+		mon = monitor.New(b.MonitorInterval)
+		mon.Start()
+	}
+	start := time.Now()
+	res, err := loaded.Run(runCtx, a, b.Params)
+	r.Runtime = time.Since(start)
+	if mon != nil {
+		r.Monitor = mon.Stop()
+	}
+
+	switch {
+	case err == nil:
+		r.Status = report.StatusSuccess
+		r.Counters = res.Counters
+		if r.Runtime > 0 {
+			r.KTEPS = float64(g.NumEdges()) / r.Runtime.Seconds() / 1000
+		}
+		if b.Validate {
+			r.Validation = validation.Validate(g, a, b.Params.WithDefaults(g.NumVertices()), res.Output)
+			if !r.Validation.Valid {
+				r.Status = report.StatusInvalid
+				r.Err = fmt.Sprintf("validation: %s", r.Validation.Detail)
+			}
+		} else {
+			r.Validation = validation.Result{Valid: true}
+		}
+	case errors.Is(err, platform.ErrOutOfMemory):
+		r.Status = report.StatusOOM
+		r.Err = err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		r.Status = report.StatusTimeout
+		r.Err = err.Error()
+	default:
+		r.Status = report.StatusError
+		r.Err = err.Error()
+	}
+	return r
+}
+
+func (b *Benchmark) record(rep *report.Report, r report.RunResult) {
+	rep.Results = append(rep.Results, r)
+	if b.Progress != nil {
+		b.Progress(r)
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"graphalytics/internal/algo"
+	"graphalytics/internal/gen/datagen"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/platform"
+	"graphalytics/internal/platform/dataflow"
+	"graphalytics/internal/platform/graphdb"
+	"graphalytics/internal/platform/mapreduce"
+	"graphalytics/internal/platform/pregel"
+	"graphalytics/internal/report"
+)
+
+func smokeGraph(t *testing.T, n int, name string) *graph.Graph {
+	t.Helper()
+	g, err := datagen.Generate(datagen.Config{Persons: n, Seed: 1, Name: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFullMatrixAllPlatformsValidated(t *testing.T) {
+	g := smokeGraph(t, 300, "smoke")
+	b := &Benchmark{
+		Platforms: []platform.Platform{
+			pregel.New(pregel.Options{}),
+			mapreduce.New(mapreduce.Options{RoundOverhead: -1}),
+			dataflow.New(dataflow.Options{}),
+			graphdb.New(graphdb.Options{}),
+		},
+		Graphs:          []*graph.Graph{g},
+		Validate:        true,
+		MonitorInterval: time.Millisecond,
+		Params:          algo.Params{Source: 0, Seed: 3, EvoNewVertices: 4},
+	}
+	rep, err := b.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 4*len(algo.Kinds) {
+		t.Fatalf("results = %d, want %d", len(rep.Results), 4*len(algo.Kinds))
+	}
+	for _, r := range rep.Results {
+		if r.Status != report.StatusSuccess {
+			t.Errorf("%s/%s/%s: status %s (%s)", r.Platform, r.Graph, r.Algorithm, r.Status, r.Err)
+		}
+		if !r.Validation.Valid {
+			t.Errorf("%s/%s/%s: invalid output: %s", r.Platform, r.Graph, r.Algorithm, r.Validation.Detail)
+		}
+		if r.Runtime <= 0 {
+			t.Errorf("%s/%s/%s: runtime not recorded", r.Platform, r.Graph, r.Algorithm)
+		}
+		if r.Algorithm == algo.CONN && r.KTEPS <= 0 {
+			t.Errorf("CONN KTEPS not computed")
+		}
+	}
+}
+
+func TestOOMBecomesMissingValue(t *testing.T) {
+	g := smokeGraph(t, 2000, "big")
+	b := &Benchmark{
+		Platforms: []platform.Platform{graphdb.New(graphdb.Options{MemoryBudget: 512})},
+		Graphs:    []*graph.Graph{g},
+	}
+	rep, err := b.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(algo.Kinds) {
+		t.Fatalf("results = %d", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Status != report.StatusOOM {
+			t.Errorf("%s: status %s, want oom", r.Algorithm, r.Status)
+		}
+	}
+	// The Figure 4 rendering must show the failures as missing values.
+	table := report.Figure4Table(rep.Results)
+	if !strings.Contains(table, "oom") {
+		t.Errorf("Figure 4 table must mark OOM cells:\n%s", table)
+	}
+}
+
+func TestTimeoutBecomesMissingValue(t *testing.T) {
+	g := smokeGraph(t, 3000, "slow")
+	b := &Benchmark{
+		Platforms:  []platform.Platform{mapreduce.New(mapreduce.Options{RoundOverhead: 200 * time.Millisecond})},
+		Graphs:     []*graph.Graph{g},
+		Algorithms: []algo.Kind{algo.CD},
+		Timeout:    50 * time.Millisecond,
+	}
+	rep, err := b.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].Status != report.StatusTimeout {
+		t.Fatalf("status = %s, want timeout", rep.Results[0].Status)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	g := smokeGraph(t, 200, "cb")
+	var seen int
+	b := &Benchmark{
+		Platforms:  []platform.Platform{pregel.New(pregel.Options{})},
+		Graphs:     []*graph.Graph{g},
+		Algorithms: []algo.Kind{algo.BFS, algo.CONN},
+		Progress:   func(report.RunResult) { seen++ },
+	}
+	if _, err := b.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 2 {
+		t.Errorf("progress callbacks = %d, want 2", seen)
+	}
+}
+
+func TestEmptyConfigRejected(t *testing.T) {
+	if _, err := (&Benchmark{}).Run(context.Background()); err == nil {
+		t.Error("no platforms should error")
+	}
+	if _, err := (&Benchmark{Platforms: []platform.Platform{pregel.New(pregel.Options{})}}).Run(context.Background()); err == nil {
+		t.Error("no graphs should error")
+	}
+}
+
+func TestCampaignCancellation(t *testing.T) {
+	g := smokeGraph(t, 200, "cancel")
+	b := &Benchmark{
+		Platforms: []platform.Platform{pregel.New(pregel.Options{})},
+		Graphs:    []*graph.Graph{g},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.Run(ctx); err == nil {
+		t.Error("cancelled campaign should error")
+	}
+}
+
+func TestReportRenderers(t *testing.T) {
+	g := smokeGraph(t, 300, "render")
+	b := &Benchmark{
+		Platforms: []platform.Platform{
+			pregel.New(pregel.Options{}),
+			graphdb.New(graphdb.Options{}),
+		},
+		Graphs:     []*graph.Graph{g},
+		Algorithms: []algo.Kind{algo.BFS, algo.CONN},
+		Validate:   true,
+	}
+	rep, err := b.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4 := report.Figure4Table(rep.Results)
+	for _, want := range []string{"render", "BFS", "CONN", "pregel", "graphdb"} {
+		if !strings.Contains(f4, want) {
+			t.Errorf("Figure4Table missing %q:\n%s", want, f4)
+		}
+	}
+	f5 := report.Figure5Table(rep.Results)
+	if !strings.Contains(f5, "kTEPS") || !strings.Contains(f5, "render") {
+		t.Errorf("Figure5Table malformed:\n%s", f5)
+	}
+	var csv strings.Builder
+	if err := report.WriteCSV(&csv, rep.Results); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines != len(rep.Results)+1 {
+		t.Errorf("CSV lines = %d, want %d", lines, len(rep.Results)+1)
+	}
+	var js strings.Builder
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), "\"results\"") {
+		t.Error("JSON missing results")
+	}
+	if s := rep.Summary(); !strings.Contains(s, "4 runs") {
+		t.Errorf("Summary = %q", s)
+	}
+}
+
+func TestMonitorCapturesSamples(t *testing.T) {
+	g := smokeGraph(t, 2000, "mon")
+	b := &Benchmark{
+		Platforms:       []platform.Platform{mapreduce.New(mapreduce.Options{RoundOverhead: -1})},
+		Graphs:          []*graph.Graph{g},
+		Algorithms:      []algo.Kind{algo.CD},
+		MonitorInterval: time.Millisecond,
+	}
+	rep, err := b.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := rep.Results[0].Monitor
+	if len(mon.Samples) < 2 {
+		t.Errorf("monitor samples = %d, want several", len(mon.Samples))
+	}
+	if mon.PeakHeapBytes == 0 {
+		t.Error("peak heap not recorded")
+	}
+}

@@ -1,0 +1,194 @@
+// Package datasets implements the Datasets database of the Graphalytics
+// architecture (Figure 2): "a database for Datasets, which includes
+// preconfigured graphs ready to be used with Graphalytics", together
+// with the configuration files the paper pairs with each graph ("We
+// also provide configuration files associated with these graphs").
+//
+// A Catalog maps dataset names to deterministic generator recipes, and
+// optionally caches materialized graphs in a directory as .v/.e file
+// pairs plus a .properties sidecar, so repeated benchmark runs skip
+// regeneration ("Add graphs" step of §2.3).
+package datasets
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"graphalytics/internal/config"
+	"graphalytics/internal/gen/datagen"
+	"graphalytics/internal/gen/rmat"
+	"graphalytics/internal/gen/surrogate"
+	"graphalytics/internal/graph"
+)
+
+// Entry is one preconfigured dataset.
+type Entry struct {
+	// Name is the catalog key.
+	Name string
+	// Description explains provenance and intended use.
+	Description string
+	// Directed reports the edge interpretation.
+	Directed bool
+	// Generate materializes the graph.
+	Generate func() (*graph.Graph, error)
+}
+
+// Catalog is a named collection of datasets with optional caching.
+type Catalog struct {
+	entries  map[string]Entry
+	cacheDir string // "" = no cache
+}
+
+// NewCatalog returns a catalog preloaded with the standard Graphalytics
+// workloads: the three Figure 4 graphs (at benchmark scale), the five
+// Table 1 surrogates, and a tiny smoke-test graph.
+func NewCatalog() *Catalog {
+	c := &Catalog{entries: map[string]Entry{}}
+	c.Register(Entry{
+		Name:        "graph500-14",
+		Description: "Graph500 R-MAT graph, scale 14, edge factor 16 (scaled stand-in for the paper's Graph500 23)",
+		Generate: func() (*graph.Graph, error) {
+			return rmat.Generate(rmat.Config{Scale: 14, Seed: 1})
+		},
+	})
+	c.Register(Entry{
+		Name:        "snb-1000",
+		Description: "Datagen person-knows-person graph (scaled stand-in for LDBC SNB SF1000)",
+		Generate: func() (*graph.Graph, error) {
+			return datagen.Generate(datagen.Config{Persons: 5000, Seed: 2, Name: "snb-1000"})
+		},
+	})
+	c.Register(Entry{
+		Name:        "smoke",
+		Description: "tiny social graph for smoke tests",
+		Generate: func() (*graph.Graph, error) {
+			return datagen.Generate(datagen.Config{Persons: 500, Seed: 3, Name: "smoke"})
+		},
+	})
+	for _, spec := range surrogate.Table1 {
+		spec := spec
+		c.Register(Entry{
+			Name:        spec.Name,
+			Description: fmt.Sprintf("synthetic surrogate for the SNAP %s graph (Table 1)", spec.Name),
+			Generate: func() (*graph.Graph, error) {
+				return surrogate.Generate(spec, surrogate.Options{})
+			},
+		})
+	}
+	return c
+}
+
+// WithCache enables materialized-graph caching under dir.
+func (c *Catalog) WithCache(dir string) *Catalog {
+	c.cacheDir = dir
+	return c
+}
+
+// Register adds (or replaces) a dataset.
+func (c *Catalog) Register(e Entry) {
+	c.entries[e.Name] = e
+}
+
+// Names lists the catalog's datasets sorted by name.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.entries))
+	for n := range c.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the entry for name.
+func (c *Catalog) Describe(name string) (Entry, error) {
+	e, ok := c.entries[name]
+	if !ok {
+		return Entry{}, fmt.Errorf("datasets: unknown dataset %q", name)
+	}
+	return e, nil
+}
+
+// Open materializes the named dataset, using and populating the cache
+// when one is configured.
+func (c *Catalog) Open(name string) (*graph.Graph, error) {
+	e, err := c.Describe(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.cacheDir == "" {
+		return e.Generate()
+	}
+	prefix := filepath.Join(c.cacheDir, name)
+	if g, err := c.openCached(e, prefix); err == nil {
+		return g, nil
+	}
+	g, err := e.Generate()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.writeCache(e, g, prefix); err != nil {
+		return nil, fmt.Errorf("datasets: caching %s: %w", name, err)
+	}
+	return g, nil
+}
+
+// openCached loads a previously materialized graph, verifying its
+// sidecar properties.
+func (c *Catalog) openCached(e Entry, prefix string) (*graph.Graph, error) {
+	props, err := config.LoadFile(prefix + ".properties")
+	if err != nil {
+		return nil, err
+	}
+	directed, err := props.Bool("graph.directed", false)
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.LoadEdgeList(prefix+".e", prefix+".v", graph.LoadOptions{
+		Directed: directed,
+		Name:     e.Name,
+	})
+	if err != nil {
+		return nil, err
+	}
+	wantV, err := props.Int("graph.vertices", -1)
+	if err != nil {
+		return nil, err
+	}
+	wantE, err := props.Int64("graph.edges", -1)
+	if err != nil {
+		return nil, err
+	}
+	if g.NumVertices() != wantV || g.NumEdges() != wantE {
+		return nil, fmt.Errorf("datasets: cache mismatch for %s: %d/%d vs recorded %d/%d",
+			e.Name, g.NumVertices(), g.NumEdges(), wantV, wantE)
+	}
+	return g, nil
+}
+
+// writeCache materializes g and its .properties sidecar.
+func (c *Catalog) writeCache(e Entry, g *graph.Graph, prefix string) error {
+	if err := os.MkdirAll(filepath.Dir(prefix), 0o755); err != nil {
+		return err
+	}
+	if err := g.SaveFiles(prefix); err != nil {
+		return err
+	}
+	props := config.New()
+	props.Set("graph.name", e.Name)
+	props.Set("graph.directed", strconv.FormatBool(g.Directed()))
+	props.Set("graph.vertices", strconv.Itoa(g.NumVertices()))
+	props.Set("graph.edges", strconv.FormatInt(g.NumEdges(), 10))
+	props.Set("graph.description", e.Description)
+	f, err := os.Create(prefix + ".properties")
+	if err != nil {
+		return err
+	}
+	if err := props.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

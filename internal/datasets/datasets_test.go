@@ -1,0 +1,128 @@
+package datasets
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphalytics/internal/graph"
+)
+
+func TestCatalogStandardEntries(t *testing.T) {
+	c := NewCatalog()
+	names := c.Names()
+	want := []string{"amazon", "graph500-14", "livejournal", "patents", "smoke", "snb-1000", "wikipedia", "youtube"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestDescribeUnknown(t *testing.T) {
+	c := NewCatalog()
+	if _, err := c.Describe("nope"); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if _, err := c.Open("nope"); err == nil {
+		t.Error("Open of unknown dataset should fail")
+	}
+}
+
+func TestOpenWithoutCache(t *testing.T) {
+	c := NewCatalog()
+	g, err := c.Open("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 500 {
+		t.Errorf("smoke vertices = %d", g.NumVertices())
+	}
+}
+
+func TestOpenCachesAndReloads(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCatalog().WithCache(dir)
+	g1, err := c.Open("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cache files exist.
+	for _, suffix := range []string{".v", ".e", ".properties"} {
+		if _, err := os.Stat(filepath.Join(dir, "smoke"+suffix)); err != nil {
+			t.Fatalf("cache file smoke%s missing: %v", suffix, err)
+		}
+	}
+	// Second open loads from cache and matches.
+	g2, err := c.Open("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumVertices() != g2.NumVertices() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("cache round trip changed shape: %v vs %v", g1, g2)
+	}
+	same := true
+	g1.Arcs(func(u, v graph.VertexID) {
+		if !g2.HasArc(uint32ID(g2, g1, u), uint32ID(g2, g1, v)) {
+			same = false
+		}
+	})
+	if !same {
+		t.Fatal("cache round trip changed edges")
+	}
+}
+
+// uint32ID maps a vertex of a to the vertex of b with the same external
+// label (the cache round-trips labels, not internal order).
+func uint32ID(b, a *graph.Graph, v graph.VertexID) graph.VertexID {
+	label := a.Label(v)
+	for w := 0; w < b.NumVertices(); w++ {
+		if b.Label(graph.VertexID(w)) == label {
+			return graph.VertexID(w)
+		}
+	}
+	return graph.NoVertex
+}
+
+func TestCorruptCacheRegenerates(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCatalog().WithCache(dir)
+	if _, err := c.Open("smoke"); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the edge file: sidecar counts no longer match, so Open
+	// must fall back to regeneration and rewrite the cache.
+	if err := os.WriteFile(filepath.Join(dir, "smoke.e"), []byte("0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Open("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 500 {
+		t.Errorf("regenerated vertices = %d", g.NumVertices())
+	}
+}
+
+func TestRegisterCustom(t *testing.T) {
+	c := NewCatalog()
+	c.Register(Entry{
+		Name:        "custom",
+		Description: "test entry",
+		Generate: func() (*graph.Graph, error) {
+			b := graph.NewBuilder(graph.Directed(false))
+			b.AddEdgeID(0, 1)
+			return b.Build()
+		},
+	})
+	g, err := c.Open("custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("custom edges = %d", g.NumEdges())
+	}
+}

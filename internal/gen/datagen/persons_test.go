@@ -1,0 +1,99 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"graphalytics/internal/graph"
+)
+
+func TestPersonsDeterministicAndBounded(t *testing.T) {
+	cfg := Config{Persons: 1000, Seed: 5}
+	a, err := Persons(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Persons(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 1000 {
+		t.Fatalf("persons = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("person table not deterministic")
+		}
+		if a[i].Degree < 1 {
+			t.Fatalf("person %d target degree %d", i, a[i].Degree)
+		}
+	}
+	if _, err := Persons(Config{Persons: 1}); err == nil {
+		t.Error("Persons(1) should fail")
+	}
+}
+
+func TestPersonsAttributesSpread(t *testing.T) {
+	persons, err := Persons(Config{Persons: 2000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unis := map[uint32]bool{}
+	interests := map[uint32]bool{}
+	for _, p := range persons {
+		unis[p.University] = true
+		interests[p.Interest] = true
+	}
+	if len(unis) < 10 || len(interests) < 5 {
+		t.Errorf("attributes not spread: %d universities, %d interests", len(unis), len(interests))
+	}
+}
+
+func TestWritePersonsCSV(t *testing.T) {
+	persons, err := Persons(Config{Persons: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WritePersons(&sb, persons); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 51 {
+		t.Fatalf("CSV lines = %d, want header + 50", len(lines))
+	}
+	if lines[0] != "id|university|interest|targetDegree" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0|") {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+// The attribute table must agree with the graph the generator builds:
+// persons in the same university-window are more likely to be connected,
+// so sampling edges should find many university-homophilous pairs.
+func TestPersonsConsistentWithEdges(t *testing.T) {
+	cfg := Config{Persons: 3000, Seed: 11}
+	persons, err := Persons(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, total := 0, 0
+	g.Edges(func(u, v graph.VertexID) {
+		total++
+		if persons[u].University == persons[v].University {
+			same++
+		}
+	})
+	frac := float64(same) / float64(total)
+	// Random pairing would give ~1/universities ≈ 2%; correlated
+	// windowed generation gives far more.
+	if frac < 0.10 {
+		t.Errorf("university homophily %.3f; correlated generation should exceed 0.10", frac)
+	}
+}

@@ -1,0 +1,170 @@
+package rewire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"graphalytics/internal/gen/datagen"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/graph/gmetrics"
+	"graphalytics/internal/xrand"
+)
+
+func testGraph(t *testing.T, n int, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := datagen.Generate(datagen.Config{Persons: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRewireRejectsDirected(t *testing.T) {
+	b := graph.NewBuilder(graph.Directed(true), graph.WithReverse())
+	b.AddEdgeID(0, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Rewire(g, Target{AvgCC: 0.1}); err != ErrNotUndirected {
+		t.Fatalf("err = %v, want ErrNotUndirected", err)
+	}
+}
+
+func TestRewirePreservesDegreeSequence(t *testing.T) {
+	g := testGraph(t, 800, 3)
+	res, err := Rewire(g, Target{AvgCC: 0.3, MaxSwaps: 20000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(DegreeSequence(g), DegreeSequence(res.Graph)) {
+		t.Fatal("rewiring changed the degree sequence")
+	}
+	if res.Graph.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d -> %d", g.NumEdges(), res.Graph.NumEdges())
+	}
+}
+
+func TestRewireRaisesClustering(t *testing.T) {
+	g := testGraph(t, 600, 5)
+	before := gmetrics.Measure(g).AvgCC
+	target := before + 0.15
+	res, err := Rewire(g, Target{AvgCC: target, MaxSwaps: 60000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := gmetrics.Measure(res.Graph).AvgCC
+	if after <= before+0.05 {
+		t.Errorf("avg CC barely moved: %.4f -> %.4f (target %.4f)", before, after, target)
+	}
+	// The incrementally tracked value must match a from-scratch recompute.
+	if math.Abs(res.AvgCC-after) > 1e-9 {
+		t.Errorf("tracked avgCC %.6f != recomputed %.6f", res.AvgCC, after)
+	}
+}
+
+func TestRewireLowersClustering(t *testing.T) {
+	g := testGraph(t, 600, 7)
+	before := gmetrics.Measure(g).AvgCC
+	if before < 0.02 {
+		t.Skip("generator produced too little clustering to lower")
+	}
+	res, err := Rewire(g, Target{AvgCC: 0, MaxSwaps: 60000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := gmetrics.Measure(res.Graph).AvgCC
+	if after >= before {
+		t.Errorf("avg CC did not drop: %.4f -> %.4f", before, after)
+	}
+}
+
+func TestRewireAssortativitySign(t *testing.T) {
+	g := testGraph(t, 600, 9)
+	res, err := Rewire(g, Target{AvgCC: -1, Assortativity: 0.3, MaxSwaps: 60000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := gmetrics.Assortativity(res.Graph)
+	if got <= gmetrics.Assortativity(g) {
+		t.Errorf("assortativity did not increase: %.4f -> %.4f", gmetrics.Assortativity(g), got)
+	}
+	if math.Abs(res.Assortativity-got) > 1e-9 {
+		t.Errorf("tracked assortativity %.6f != recomputed %.6f", res.Assortativity, got)
+	}
+}
+
+func TestRewireTracksTrianglesExactly(t *testing.T) {
+	// After an arbitrary number of swaps, the incremental LCC must equal
+	// a from-scratch computation — this exercises the local triangle
+	// delta logic on many random swaps.
+	g := testGraph(t, 300, 11)
+	res, err := Rewire(g, Target{AvgCC: 0.5, MaxSwaps: 5000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gmetrics.Measure(res.Graph).AvgCC
+	if math.Abs(res.AvgCC-want) > 1e-9 {
+		t.Fatalf("incremental avgCC %.9f != recomputed %.9f", res.AvgCC, want)
+	}
+}
+
+func TestRewireDeterministic(t *testing.T) {
+	g := testGraph(t, 400, 13)
+	r1, err := Rewire(g, Target{AvgCC: 0.3, MaxSwaps: 3000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Rewire(g, Target{AvgCC: 0.3, MaxSwaps: 3000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.SwapsAccepted != r2.SwapsAccepted || r1.AvgCC != r2.AvgCC {
+		t.Fatal("rewiring is not deterministic for equal seeds")
+	}
+}
+
+func TestRewireConvergedFlag(t *testing.T) {
+	g := testGraph(t, 300, 15)
+	cur := gmetrics.Measure(g).AvgCC
+	res, err := Rewire(g, Target{AvgCC: cur, AvgCCTolerance: 0.05, MaxSwaps: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("already-on-target graph should converge immediately")
+	}
+	if res.SwapsAccepted != 0 {
+		t.Errorf("no swaps should be needed, got %d", res.SwapsAccepted)
+	}
+}
+
+// Property: any rewiring run preserves the degree sequence and keeps the
+// graph simple (no loops, no duplicate edges).
+func TestQuickRewireInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := datagen.Generate(datagen.Config{Persons: 150, Seed: seed%1000 + 2})
+		if err != nil {
+			return false
+		}
+		res, err := Rewire(g, Target{AvgCC: xrand.Float64(seed) * 0.5, MaxSwaps: 800, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if !reflect.DeepEqual(DegreeSequence(g), DegreeSequence(res.Graph)) {
+			return false
+		}
+		ok := true
+		res.Graph.Arcs(func(u, v graph.VertexID) {
+			if u == v {
+				ok = false
+			}
+		})
+		return ok && res.Graph.NumEdges() == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package rmat
+
+import (
+	"testing"
+
+	"graphalytics/internal/graph"
+	"graphalytics/internal/graph/gmetrics"
+	"graphalytics/internal/stats"
+)
+
+func TestGenerateBasic(t *testing.T) {
+	g, err := Generate(Config{Scale: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1024 {
+		t.Fatalf("vertices = %d, want 1024", g.NumVertices())
+	}
+	if g.Directed() {
+		t.Error("Graph500 graph must be undirected")
+	}
+	// Dedup + loop removal shrink the edge count, but it should stay in
+	// the same ballpark as scale * edgefactor.
+	m := g.NumEdges()
+	if m < 1024*8 || m > 1024*16 {
+		t.Errorf("edges = %d, want within [8n, 16n]", m)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Scale: 0}); err == nil {
+		t.Error("scale 0 should fail")
+	}
+	if _, err := Generate(Config{Scale: 31}); err == nil {
+		t.Error("scale 31 should fail")
+	}
+}
+
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	a, err := Generate(Config{Scale: 9, Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Scale: 9, Seed: 7, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumArcs() != b.NumArcs() {
+		t.Fatal("worker count changed the graph")
+	}
+	same := true
+	a.Arcs(func(u, v graph.VertexID) {
+		if !b.HasArc(u, v) {
+			same = false
+		}
+	})
+	if !same {
+		t.Fatal("worker count changed the edge set")
+	}
+}
+
+func TestSkewedDegrees(t *testing.T) {
+	// R-MAT's defining property: heavy-tailed, skewed degrees. The max
+	// degree should far exceed the mean, and a power law should fit far
+	// better than a Poisson.
+	g, err := Generate(Config{Scale: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degs := gmetrics.Degrees(g)
+	s, err := stats.NewSample(degs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Describe()
+	if float64(d.Max) < 8*d.Mean {
+		t.Errorf("max degree %d vs mean %.1f: not skewed enough for R-MAT", d.Max, d.Mean)
+	}
+	zeta := s.FitZeta()
+	pois := s.FitPoisson()
+	if zeta.LogLikelihood <= pois.LogLikelihood {
+		t.Error("power law should fit R-MAT degrees better than Poisson")
+	}
+}
+
+func TestNoSelfLoops(t *testing.T) {
+	g, err := Generate(Config{Scale: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.HasArc(graph.VertexID(v), graph.VertexID(v)) {
+			t.Fatalf("self loop at %d", v)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	g, err := Generate(Config{Scale: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "graph500-8" {
+		t.Errorf("name = %q", g.Name())
+	}
+}

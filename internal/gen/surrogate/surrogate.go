@@ -1,0 +1,164 @@
+// Package surrogate generates deterministic synthetic stand-ins for the
+// five SNAP graphs of Table 1 (Amazon, Youtube, LiveJournal, Patents,
+// Wikipedia). The real datasets cannot be downloaded in this offline
+// environment, so each surrogate is generated with Datagen using a
+// degree-distribution plugin matched to the graph's mean degree and
+// shape, then rewired toward the published average clustering
+// coefficient and assortativity sign (§2.2's planned extension, built in
+// package rewire).
+//
+// Surrogates default to 1/DefaultScaleDiv of the published vertex count
+// so the full benchmark matrix runs on a laptop; set the
+// GRAPHALYTICS_SCALE_DIV environment variable (or the ScaleDiv field) to
+// change the scale.
+package surrogate
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"graphalytics/internal/gen/datagen"
+	"graphalytics/internal/gen/dist"
+	"graphalytics/internal/gen/rewire"
+	"graphalytics/internal/graph"
+)
+
+// Spec describes one Table 1 dataset and how to synthesize its surrogate.
+type Spec struct {
+	Name     string
+	Vertices int     // published vertex count
+	Edges    int64   // published edge count
+	GlobalCC float64 // published global clustering coefficient
+	AvgCC    float64 // published average clustering coefficient
+	Asrt     float64 // published degree assortativity
+
+	// zetaS picks the power-law exponent of the degree plugin (heavier
+	// tails for web-like graphs); 0 means use a geometric plugin.
+	zetaS float64
+}
+
+// Table1 lists the five datasets with the characteristics published in
+// Table 1 of the paper.
+var Table1 = []Spec{
+	{Name: "amazon", Vertices: 300_000, Edges: 1_200_000, GlobalCC: 0.2361, AvgCC: 0.4198, Asrt: 0.0027, zetaS: 2.6},
+	{Name: "youtube", Vertices: 1_100_000, Edges: 3_000_000, GlobalCC: 0.0062, AvgCC: 0.0808, Asrt: -0.0369, zetaS: 2.0},
+	{Name: "livejournal", Vertices: 4_000_000, Edges: 35_000_000, GlobalCC: 0.1253, AvgCC: 0.2843, Asrt: 0.0452, zetaS: 2.2},
+	{Name: "patents", Vertices: 3_800_000, Edges: 16_500_000, GlobalCC: 0.0671, AvgCC: 0.0757, Asrt: 0.1332, zetaS: 0},
+	{Name: "wikipedia", Vertices: 2_400_000, Edges: 5_000_000, GlobalCC: 0.0022, AvgCC: 0.0526, Asrt: -0.0853, zetaS: 1.9},
+}
+
+// DefaultScaleDiv is the default downscale factor for surrogate sizes.
+const DefaultScaleDiv = 64
+
+// Options controls surrogate generation.
+type Options struct {
+	// ScaleDiv divides the published vertex count (0 reads the
+	// GRAPHALYTICS_SCALE_DIV environment variable, falling back to
+	// DefaultScaleDiv).
+	ScaleDiv int
+	// Seed for the generator (0 selects a fixed default).
+	Seed uint64
+	// Rewire enables the hill-climbing pass toward the published AvgCC
+	// and assortativity sign. Costs extra time; benchmark graphs enable
+	// it, unit tests may not.
+	Rewire bool
+	// MaxSwaps bounds rewiring work (0 = package default).
+	MaxSwaps int
+}
+
+// ScaleDiv resolves the effective downscale factor.
+func (o Options) scaleDiv() int {
+	if o.ScaleDiv > 0 {
+		return o.ScaleDiv
+	}
+	if env := os.Getenv("GRAPHALYTICS_SCALE_DIV"); env != "" {
+		if v, err := strconv.Atoi(env); err == nil && v > 0 {
+			return v
+		}
+	}
+	return DefaultScaleDiv
+}
+
+// Find returns the Spec with the given name.
+func Find(name string) (Spec, error) {
+	for _, s := range Table1 {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("surrogate: unknown dataset %q", name)
+}
+
+// Generate synthesizes the surrogate for spec under opts.
+func Generate(spec Spec, opts Options) (*graph.Graph, error) {
+	div := opts.scaleDiv()
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 0x6a1ba1 + uint64(len(spec.Name))
+	}
+	n := spec.Vertices / div
+	if n < 64 {
+		n = 64
+	}
+	meanDeg := 2 * float64(spec.Edges) / float64(spec.Vertices)
+
+	var dd dist.Distribution
+	var err error
+	if spec.zetaS > 0 {
+		// Power-law plugin with the exponent solved so that the truncated
+		// mean matches the published mean degree (heavy tail like the
+		// spec's family, correct density).
+		dd, err = zetaWithMean(meanDeg)
+	} else {
+		dd, err = dist.NewGeometric(1/meanDeg, 0)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	g, err := datagen.Generate(datagen.Config{
+		Persons: n,
+		Seed:    seed,
+		Degrees: dd,
+		Name:    spec.Name,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !opts.Rewire {
+		return g, nil
+	}
+	res, err := rewire.Rewire(g, rewire.Target{
+		AvgCC:         spec.AvgCC,
+		Assortativity: spec.Asrt,
+		Seed:          seed + 1,
+		MaxSwaps:      opts.MaxSwaps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Graph.SetName(spec.Name)
+	return res.Graph, nil
+}
+
+// zetaWithMean solves for the exponent s of a cutoff-truncated Zeta
+// whose mean equals want, by bisection (the truncated mean is strictly
+// decreasing in s).
+func zetaWithMean(want float64) (dist.Distribution, error) {
+	const cutoff = 2048
+	lo, hi := 1.05, 8.0
+	for i := 0; i < 50; i++ {
+		mid := (lo + hi) / 2
+		z, err := dist.NewZeta(mid, cutoff)
+		if err != nil {
+			return nil, err
+		}
+		if z.Mean() > want {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return dist.NewZeta((lo+hi)/2, cutoff)
+}

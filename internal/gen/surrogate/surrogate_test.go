@@ -1,0 +1,108 @@
+package surrogate
+
+import (
+	"math"
+	"testing"
+
+	"graphalytics/internal/graph/gmetrics"
+)
+
+func TestFind(t *testing.T) {
+	s, err := Find("patents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Vertices != 3_800_000 {
+		t.Errorf("patents vertices = %d", s.Vertices)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}
+
+func TestTable1Complete(t *testing.T) {
+	if len(Table1) != 5 {
+		t.Fatalf("Table1 has %d entries, want 5", len(Table1))
+	}
+	names := map[string]bool{}
+	for _, s := range Table1 {
+		names[s.Name] = true
+		if s.Vertices <= 0 || s.Edges <= 0 {
+			t.Errorf("%s: bad size", s.Name)
+		}
+	}
+	for _, want := range []string{"amazon", "youtube", "livejournal", "patents", "wikipedia"} {
+		if !names[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestGenerateScaledSize(t *testing.T) {
+	spec, _ := Find("amazon")
+	g, err := Generate(spec, Options{ScaleDiv: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN := spec.Vertices / 64
+	if g.NumVertices() != wantN {
+		t.Fatalf("vertices = %d, want %d", g.NumVertices(), wantN)
+	}
+	// Mean degree should be in the ballpark of the published one.
+	wantDeg := 2 * float64(spec.Edges) / float64(spec.Vertices)
+	gotDeg := 2 * float64(g.NumEdges()) / float64(g.NumVertices())
+	if gotDeg < wantDeg/3 || gotDeg > wantDeg*3 {
+		t.Errorf("mean degree %.2f, published %.2f", gotDeg, wantDeg)
+	}
+}
+
+func TestGenerateWithRewireApproachesTargets(t *testing.T) {
+	spec, _ := Find("amazon") // highest AvgCC target: rewiring must raise it
+	plain, err := Generate(spec, Options{ScaleDiv: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewired, err := Generate(spec, Options{ScaleDiv: 256, Rewire: true, MaxSwaps: 40000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccPlain := gmetrics.Measure(plain).AvgCC
+	ccRewired := gmetrics.Measure(rewired).AvgCC
+	distPlain := math.Abs(ccPlain - spec.AvgCC)
+	distRewired := math.Abs(ccRewired - spec.AvgCC)
+	if distRewired >= distPlain {
+		t.Errorf("rewiring did not approach target CC %.3f: %.3f -> %.3f",
+			spec.AvgCC, ccPlain, ccRewired)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, _ := Find("wikipedia")
+	a, err := Generate(spec, Options{ScaleDiv: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec, Options{ScaleDiv: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumArcs() != b.NumArcs() || a.NumVertices() != b.NumVertices() {
+		t.Fatal("surrogate generation is not deterministic")
+	}
+}
+
+func TestScaleDivEnvOverride(t *testing.T) {
+	t.Setenv("GRAPHALYTICS_SCALE_DIV", "128")
+	var o Options
+	if got := o.scaleDiv(); got != 128 {
+		t.Errorf("scaleDiv = %d, want 128 from env", got)
+	}
+	t.Setenv("GRAPHALYTICS_SCALE_DIV", "bogus")
+	if got := o.scaleDiv(); got != DefaultScaleDiv {
+		t.Errorf("scaleDiv = %d, want default on bogus env", got)
+	}
+	o.ScaleDiv = 32
+	if got := o.scaleDiv(); got != 32 {
+		t.Errorf("explicit ScaleDiv should win, got %d", got)
+	}
+}

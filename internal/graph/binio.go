@@ -1,0 +1,236 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary graph format ("GALB"): a compact CSR serialization that loads
+// an order of magnitude faster than the text .v/.e pair, used by the
+// dataset cache for large preconfigured graphs.
+//
+// Layout (all integers varint unless noted):
+//
+//	magic   "GALB" (4 bytes)
+//	version u8 (=1)
+//	flags   u8 (bit0 directed, bit1 has-labels, bit2 has-reverse)
+//	name    uvarint length + bytes
+//	n       uvarint vertex count
+//	arcs    uvarint arc count
+//	degrees n × uvarint (out-degree per vertex)
+//	edges   per vertex: sorted adjacency delta-encoded (first value
+//	        absolute, then gaps)
+//	[labels n × varint (if bit1)]
+//
+// The reverse adjacency is rebuilt on load when bit2 is set (it is
+// derivable, so it is not stored).
+
+const binMagic = "GALB"
+
+// ErrBadFormat reports a malformed binary graph file.
+var ErrBadFormat = errors.New("graph: bad binary format")
+
+// WriteBinary serializes g to w in the binary format.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	flags := byte(0)
+	if g.directed {
+		flags |= 1
+	}
+	if g.labels != nil {
+		flags |= 2
+	}
+	if g.directed && g.inIndex != nil {
+		flags |= 4
+	}
+	if err := bw.WriteByte(1); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(flags); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(g.name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(g.name); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(g.n)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(g.outEdges))); err != nil {
+		return err
+	}
+	for v := 0; v < g.n; v++ {
+		if err := putUvarint(uint64(g.OutDegree(VertexID(v)))); err != nil {
+			return err
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		prev := uint64(0)
+		for i, u := range g.OutNeighbors(VertexID(v)) {
+			if i == 0 {
+				if err := putUvarint(uint64(u)); err != nil {
+					return err
+				}
+			} else if err := putUvarint(uint64(u) - prev); err != nil {
+				return err
+			}
+			prev = uint64(u)
+		}
+	}
+	if g.labels != nil {
+		for _, l := range g.labels {
+			if err := putVarint(l); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph from r.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(magic) != binMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if version != 1 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
+	}
+	flags, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<20 {
+		return nil, fmt.Errorf("%w: absurd name length %d", ErrBadFormat, nameLen)
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBytes); err != nil {
+		return nil, err
+	}
+	n64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	arcs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n64 > 1<<32 || arcs > 1<<40 {
+		return nil, fmt.Errorf("%w: implausible sizes n=%d arcs=%d", ErrBadFormat, n64, arcs)
+	}
+	n := int(n64)
+
+	g := &Graph{
+		name:     string(nameBytes),
+		directed: flags&1 != 0,
+		n:        n,
+	}
+	g.outIndex = make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		g.outIndex[v+1] = g.outIndex[v] + int64(d)
+	}
+	if uint64(g.outIndex[n]) != arcs {
+		return nil, fmt.Errorf("%w: degree sum %d != arc count %d", ErrBadFormat, g.outIndex[n], arcs)
+	}
+	g.outEdges = make([]VertexID, arcs)
+	for v := 0; v < n; v++ {
+		prev := uint64(0)
+		for i := g.outIndex[v]; i < g.outIndex[v+1]; i++ {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if i == g.outIndex[v] {
+				prev = d
+			} else {
+				prev += d
+			}
+			if prev >= uint64(n) {
+				return nil, fmt.Errorf("%w: edge target %d out of range", ErrBadFormat, prev)
+			}
+			g.outEdges[i] = VertexID(prev)
+		}
+	}
+	if flags&2 != 0 {
+		g.labels = make([]int64, n)
+		for v := 0; v < n; v++ {
+			l, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, err
+			}
+			g.labels[v] = l
+		}
+	}
+	if !g.directed {
+		g.inIndex, g.inEdges = g.outIndex, g.outEdges
+	} else if flags&4 != 0 {
+		// Rebuild the reverse adjacency.
+		srcs := make([]VertexID, 0, arcs)
+		dsts := make([]VertexID, 0, arcs)
+		g.Arcs(func(u, v VertexID) {
+			srcs = append(srcs, u)
+			dsts = append(dsts, v)
+		})
+		g.inIndex, g.inEdges = buildCSR(n, dsts, srcs, false)
+	}
+	return g, nil
+}
+
+// SaveBinary writes the graph to path in the binary format.
+func (g *Graph) SaveBinary(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteBinary(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinary reads a binary graph file.
+func LoadBinary(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

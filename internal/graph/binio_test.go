@@ -1,0 +1,160 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTripBinary(t *testing.T, g *Graph) *Graph {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func assertSameGraph(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumArcs() != b.NumArcs() || a.Directed() != b.Directed() {
+		t.Fatalf("shape differs: %v vs %v", a, b)
+	}
+	if a.Name() != b.Name() {
+		t.Fatalf("name differs: %q vs %q", a.Name(), b.Name())
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		if !reflect.DeepEqual(a.OutNeighbors(VertexID(v)), b.OutNeighbors(VertexID(v))) {
+			t.Fatalf("adjacency of %d differs", v)
+		}
+		if a.Label(VertexID(v)) != b.Label(VertexID(v)) {
+			t.Fatalf("label of %d differs", v)
+		}
+	}
+}
+
+func TestBinaryRoundTripDirected(t *testing.T) {
+	g := randomTestGraph(200, 900, 3, true)
+	g.SetName("bin-directed")
+	back := roundTripBinary(t, g)
+	assertSameGraph(t, g, back)
+	if !back.HasReverse() {
+		t.Error("reverse adjacency not rebuilt")
+	}
+	if !reflect.DeepEqual(back.InNeighbors(5), g.InNeighbors(5)) {
+		t.Error("reverse adjacency differs")
+	}
+}
+
+func TestBinaryRoundTripUndirected(t *testing.T) {
+	g := randomTestGraph(150, 500, 5, false)
+	g.SetName("bin-undirected")
+	back := roundTripBinary(t, g)
+	assertSameGraph(t, g, back)
+	if back.Directed() {
+		t.Error("directedness lost")
+	}
+}
+
+func TestBinaryRoundTripLabels(t *testing.T) {
+	b := NewBuilder(Directed(false), WithName("labeled"))
+	b.AddEdge(1000, -5)
+	b.AddEdge(-5, 99)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := roundTripBinary(t, g)
+	assertSameGraph(t, g, back)
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	g := randomTestGraph(100, 300, 7, true)
+	path := filepath.Join(t.TempDir(), "g.galb")
+	if err := g.SaveBinary(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, back)
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("GALB\x02\x00\x00"),               // bad version
+		[]byte("GALB\x01\x00\x00\x05\x00"),       // degree sum mismatch
+		append([]byte("GALB\x01\x00\x00"), 0xff), // truncated varints
+	}
+	for i, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Degree-sum mismatch specifically returns ErrBadFormat.
+	var buf bytes.Buffer
+	buf.WriteString("GALB")
+	buf.WriteByte(1)
+	buf.WriteByte(0)
+	buf.WriteByte(0) // name len 0
+	buf.WriteByte(2) // n = 2
+	buf.WriteByte(9) // arcs = 9 (will not match degrees)
+	buf.WriteByte(1) // deg(0) = 1
+	buf.WriteByte(1) // deg(1) = 1
+	if _, err := ReadBinary(&buf); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("degree mismatch err = %v", err)
+	}
+}
+
+func TestBinaryCompactness(t *testing.T) {
+	// The binary form should be several times smaller than the text form
+	// for a realistic graph.
+	g := randomTestGraph(1000, 8000, 9, false)
+	var bin, txt bytes.Buffer
+	if err := g.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteEdgeList(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= txt.Len() {
+		t.Errorf("binary %d bytes !< text %d bytes", bin.Len(), txt.Len())
+	}
+}
+
+// Property: binary round trip is the identity on arbitrary graphs.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64, directed bool) bool {
+		g := randomTestGraph(60, 240, seed, directed)
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NumVertices() != g.NumVertices() || back.NumArcs() != g.NumArcs() {
+			return false
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if !reflect.DeepEqual(back.OutNeighbors(VertexID(v)), g.OutNeighbors(VertexID(v))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

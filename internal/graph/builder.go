@@ -1,0 +1,256 @@
+package graph
+
+import (
+	"errors"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable CSR Graph.
+//
+// Edges may be added with arbitrary external int64 vertex identifiers;
+// the builder densifies them to internal IDs. Use AddEdgeID to add edges
+// that already use dense IDs (faster, no remapping).
+//
+// The zero Builder builds a directed graph; use NewBuilder to configure.
+type Builder struct {
+	directed   bool
+	dedup      bool
+	dropLoops  bool
+	buildIn    bool
+	name       string
+	srcs, dsts []VertexID
+	ext2int    map[int64]VertexID
+	labels     []int64
+	maxID      VertexID
+	hasEdges   bool
+	useLabels  bool
+}
+
+// BuilderOption configures a Builder.
+type BuilderOption func(*Builder)
+
+// Directed sets whether the built graph is directed. Undirected graphs
+// are stored symmetrized (each edge as two arcs).
+func Directed(d bool) BuilderOption { return func(b *Builder) { b.directed = d } }
+
+// Dedup removes duplicate arcs during Build.
+func Dedup() BuilderOption { return func(b *Builder) { b.dedup = true } }
+
+// DropSelfLoops removes self-loop arcs during Build.
+func DropSelfLoops() BuilderOption { return func(b *Builder) { b.dropLoops = true } }
+
+// WithReverse builds reverse (in-) adjacency for directed graphs.
+// Undirected graphs always have reverse adjacency (aliasing the forward
+// arrays) regardless of this option.
+func WithReverse() BuilderOption { return func(b *Builder) { b.buildIn = true } }
+
+// WithName sets the dataset name of the built graph.
+func WithName(name string) BuilderOption { return func(b *Builder) { b.name = name } }
+
+// NewBuilder returns a Builder with the given options applied.
+func NewBuilder(opts ...BuilderOption) *Builder {
+	b := &Builder{directed: true}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// AddEdge adds an edge between external vertex identifiers. The first
+// call to AddEdge switches the builder into label mode; mixing AddEdge
+// and AddEdgeID is not allowed.
+func (b *Builder) AddEdge(src, dst int64) {
+	if !b.useLabels {
+		if b.hasEdges {
+			panic("graph: mixing AddEdge and AddEdgeID")
+		}
+		b.useLabels = true
+		b.ext2int = make(map[int64]VertexID)
+	}
+	b.hasEdges = true
+	b.srcs = append(b.srcs, b.intern(src))
+	b.dsts = append(b.dsts, b.intern(dst))
+}
+
+// AddVertex registers an external vertex identifier even if it has no
+// edges (needed to honor .v vertex files containing isolated vertices).
+// Only valid in label mode (or before any AddEdgeID call).
+func (b *Builder) AddVertex(id int64) {
+	if b.hasEdges && !b.useLabels {
+		panic("graph: AddVertex after AddEdgeID")
+	}
+	if b.ext2int == nil {
+		b.ext2int = make(map[int64]VertexID)
+	}
+	b.useLabels = true
+	b.intern(id)
+}
+
+func (b *Builder) intern(ext int64) VertexID {
+	if id, ok := b.ext2int[ext]; ok {
+		return id
+	}
+	id := VertexID(len(b.labels))
+	b.ext2int[ext] = id
+	b.labels = append(b.labels, ext)
+	return id
+}
+
+// AddEdgeID adds an edge between dense internal IDs. The vertex count of
+// the built graph is max ID + 1 unless SetNumVertices was called.
+func (b *Builder) AddEdgeID(src, dst VertexID) {
+	if b.useLabels {
+		panic("graph: mixing AddEdgeID and AddEdge")
+	}
+	b.hasEdges = true
+	b.srcs = append(b.srcs, src)
+	b.dsts = append(b.dsts, dst)
+	if src > b.maxID {
+		b.maxID = src
+	}
+	if dst > b.maxID {
+		b.maxID = dst
+	}
+}
+
+// SetNumVertices forces the vertex count (ID mode only). Vertices in
+// [0, n) with no edges become isolated vertices.
+func (b *Builder) SetNumVertices(n int) {
+	if b.useLabels {
+		panic("graph: SetNumVertices is only valid in ID mode")
+	}
+	if n > 0 {
+		if VertexID(n-1) > b.maxID {
+			b.maxID = VertexID(n - 1)
+		}
+	}
+}
+
+// Grow preallocates capacity for n additional edges.
+func (b *Builder) Grow(n int) {
+	if cap(b.srcs)-len(b.srcs) < n {
+		srcs := make([]VertexID, len(b.srcs), len(b.srcs)+n)
+		copy(srcs, b.srcs)
+		b.srcs = srcs
+		dsts := make([]VertexID, len(b.dsts), len(b.dsts)+n)
+		copy(dsts, b.dsts)
+		b.dsts = dsts
+	}
+}
+
+// NumBufferedEdges returns the number of edges added so far.
+func (b *Builder) NumBufferedEdges() int { return len(b.srcs) }
+
+// ErrEmptyGraph is returned by Build when no vertices were added.
+var ErrEmptyGraph = errors.New("graph: empty graph")
+
+// Build constructs the CSR graph. The builder must not be reused after
+// Build.
+func (b *Builder) Build() (*Graph, error) {
+	var n int
+	if b.useLabels {
+		n = len(b.labels)
+	} else if b.hasEdges || b.maxID > 0 {
+		n = int(b.maxID) + 1
+	}
+	if n == 0 {
+		return nil, ErrEmptyGraph
+	}
+
+	srcs, dsts := b.srcs, b.dsts
+	if b.dropLoops {
+		k := 0
+		for i := range srcs {
+			if srcs[i] != dsts[i] {
+				srcs[k], dsts[k] = srcs[i], dsts[i]
+				k++
+			}
+		}
+		srcs, dsts = srcs[:k], dsts[:k]
+	}
+
+	g := &Graph{name: b.name, directed: b.directed, n: n}
+	if !b.directed {
+		// Symmetrize: append the reversed arcs.
+		m := len(srcs)
+		srcs = append(srcs, dsts[:m]...)
+		dsts = append(dsts, srcs[:m]...)
+	}
+
+	g.outIndex, g.outEdges = buildCSR(n, srcs, dsts, b.dedup || !b.directed)
+	if !b.directed {
+		g.inIndex, g.inEdges = g.outIndex, g.outEdges
+	} else if b.buildIn {
+		g.inIndex, g.inEdges = buildCSR(n, dsts, srcs, b.dedup)
+	}
+	if b.useLabels {
+		g.labels = b.labels
+	}
+	// Release builder storage.
+	b.srcs, b.dsts, b.ext2int = nil, nil, nil
+	return g, nil
+}
+
+// buildCSR builds a CSR (index, edges) pair from parallel src/dst arrays
+// using counting sort by source, then sorts each adjacency list and
+// optionally deduplicates.
+func buildCSR(n int, srcs, dsts []VertexID, dedup bool) ([]int64, []VertexID) {
+	index := make([]int64, n+1)
+	for _, s := range srcs {
+		index[s+1]++
+	}
+	for i := 0; i < n; i++ {
+		index[i+1] += index[i]
+	}
+	edges := make([]VertexID, len(srcs))
+	cursor := make([]int64, n)
+	for i, s := range srcs {
+		edges[index[s]+cursor[s]] = dsts[i]
+		cursor[s]++
+	}
+	for v := 0; v < n; v++ {
+		adj := edges[index[v]:index[v+1]]
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+	}
+	if !dedup {
+		return index, edges
+	}
+	// In-place dedup per vertex, then compact.
+	w := int64(0)
+	newIndex := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		start := w
+		var last VertexID
+		first := true
+		for _, u := range edges[index[v]:index[v+1]] {
+			if first || u != last {
+				edges[w] = u
+				w++
+				last = u
+				first = false
+			}
+		}
+		newIndex[v] = start
+	}
+	newIndex[n] = w
+	// Shift starts: newIndex currently holds start offsets; already correct.
+	return newIndex, edges[:w:w]
+}
+
+// FromArcs builds a directed graph with reverse adjacency directly from
+// dense arc arrays, taking ownership of the slices. It is the fast path
+// used by generators. n must be at least max(id)+1.
+func FromArcs(name string, n int, srcs, dsts []VertexID, directed bool) *Graph {
+	g := &Graph{name: name, directed: directed, n: n}
+	if !directed {
+		m := len(srcs)
+		srcs = append(srcs, dsts[:m]...)
+		dsts = append(dsts, srcs[:m]...)
+		g.outIndex, g.outEdges = buildCSR(n, srcs, dsts, true)
+		g.inIndex, g.inEdges = g.outIndex, g.outEdges
+		return g
+	}
+	g.outIndex, g.outEdges = buildCSR(n, srcs, dsts, false)
+	g.inIndex, g.inEdges = buildCSR(n, dsts, srcs, false)
+	return g
+}

@@ -1,0 +1,92 @@
+package graph
+
+import "fmt"
+
+// Validate checks the graph's structural invariants and returns the
+// first violation found (nil if the graph is well formed). It is meant
+// for loaders, fuzzing harnesses, and tests:
+//
+//   - index arrays are monotone and sized n+1;
+//   - adjacency lists are sorted and in range;
+//   - undirected graphs are symmetric (u ∈ adj(v) ⇔ v ∈ adj(u));
+//   - directed graphs with reverse adjacency have matching in/out arcs;
+//   - the label table, when present, has one entry per vertex with no
+//     duplicates.
+func (g *Graph) Validate() error {
+	n := g.n
+	if len(g.outIndex) != n+1 {
+		return fmt.Errorf("graph: outIndex has %d entries, want %d", len(g.outIndex), n+1)
+	}
+	if g.outIndex[0] != 0 {
+		return fmt.Errorf("graph: outIndex[0] = %d, want 0", g.outIndex[0])
+	}
+	for v := 0; v < n; v++ {
+		if g.outIndex[v+1] < g.outIndex[v] {
+			return fmt.Errorf("graph: outIndex not monotone at %d", v)
+		}
+	}
+	if g.outIndex[n] != int64(len(g.outEdges)) {
+		return fmt.Errorf("graph: outIndex[n] = %d, edges = %d", g.outIndex[n], len(g.outEdges))
+	}
+	for v := 0; v < n; v++ {
+		adj := g.OutNeighbors(VertexID(v))
+		for i, u := range adj {
+			if int(u) >= n {
+				return fmt.Errorf("graph: vertex %d has out-neighbor %d >= n", v, u)
+			}
+			if i > 0 && adj[i-1] > u {
+				return fmt.Errorf("graph: adjacency of %d not sorted at %d", v, i)
+			}
+		}
+	}
+	if !g.directed {
+		var err error
+		g.Arcs(func(u, v VertexID) {
+			if err == nil && !g.HasArc(v, u) {
+				err = fmt.Errorf("graph: undirected graph missing reverse arc (%d,%d)", v, u)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	} else if g.inIndex != nil {
+		if len(g.inIndex) != n+1 {
+			return fmt.Errorf("graph: inIndex has %d entries, want %d", len(g.inIndex), n+1)
+		}
+		if g.inIndex[n] != int64(len(g.inEdges)) {
+			return fmt.Errorf("graph: inIndex[n] = %d, in-edges = %d", g.inIndex[n], len(g.inEdges))
+		}
+		var outArcs, inArcs int64
+		outArcs = int64(len(g.outEdges))
+		inArcs = int64(len(g.inEdges))
+		if outArcs != inArcs {
+			return fmt.Errorf("graph: %d out-arcs vs %d in-arcs", outArcs, inArcs)
+		}
+		// Spot-check arc consistency: every in-arc must exist forward.
+		var err error
+		for v := 0; v < n && err == nil; v++ {
+			for _, u := range g.InNeighbors(VertexID(v)) {
+				if !g.HasArc(u, VertexID(v)) {
+					err = fmt.Errorf("graph: in-arc (%d<-%d) has no forward arc", v, u)
+					break
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if g.labels != nil {
+		if len(g.labels) != n {
+			return fmt.Errorf("graph: %d labels for %d vertices", len(g.labels), n)
+		}
+		seen := make(map[int64]VertexID, n)
+		for v, l := range g.labels {
+			if prev, dup := seen[l]; dup {
+				return fmt.Errorf("graph: label %d used by vertices %d and %d", l, prev, v)
+			}
+			seen[l] = VertexID(v)
+		}
+	}
+	return nil
+}

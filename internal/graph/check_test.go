@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	for _, g := range []*Graph{
+		randomTestGraph(50, 200, 1, true),
+		randomTestGraph(50, 200, 2, false),
+	} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%v: %v", g, err)
+		}
+	}
+	// With labels.
+	b := NewBuilder(Directed(false))
+	b.AddEdge(10, 20)
+	b.AddEdge(20, 30)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("labeled graph: %v", err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	fresh := func() *Graph { return randomTestGraph(30, 120, 3, true) }
+
+	g := fresh()
+	g.outEdges[0] = VertexID(g.n + 5) // out of range
+	if err := g.Validate(); err == nil {
+		t.Error("out-of-range neighbor accepted")
+	}
+
+	g = fresh()
+	adj := g.OutNeighbors(0)
+	if len(adj) >= 2 {
+		adj[0], adj[1] = adj[1], adj[0] // break sortedness
+		if err := g.Validate(); err == nil {
+			t.Error("unsorted adjacency accepted")
+		}
+	}
+
+	g = fresh()
+	g.outIndex[1] = g.outIndex[2] + 1 // break monotonicity
+	if err := g.Validate(); err == nil {
+		t.Error("non-monotone index accepted")
+	}
+
+	g = fresh()
+	g.labels = make([]int64, g.n)
+	for i := range g.labels {
+		g.labels[i] = 7 // duplicate labels
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("duplicate labels accepted")
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	// Hand-build a broken "undirected" graph with a one-way arc.
+	g := &Graph{directed: false, n: 2}
+	g.outIndex = []int64{0, 1, 1}
+	g.outEdges = []VertexID{1}
+	g.inIndex, g.inEdges = g.outIndex, g.outEdges
+	if err := g.Validate(); err == nil {
+		t.Error("asymmetric undirected graph accepted")
+	}
+}
+
+// Property: everything the generators and transforms produce validates.
+func TestQuickGeneratedGraphsValidate(t *testing.T) {
+	f := func(seed int64, directed bool) bool {
+		g := randomTestGraph(40, 160, seed, directed)
+		if g.Validate() != nil {
+			return false
+		}
+		if Undirect(g).Validate() != nil {
+			return false
+		}
+		perm := RandomOrder(g, uint64(seed)+1)
+		return Remap(g, perm).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package gmetrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphalytics/internal/graph"
+)
+
+func buildUndirected(t *testing.T, edges [][2]int64) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(graph.Directed(false), graph.DropSelfLoops())
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestTriangleGraph(t *testing.T) {
+	g := buildUndirected(t, [][2]int64{{0, 1}, {1, 2}, {2, 0}})
+	c := Measure(g)
+	if c.Vertices != 3 || c.Edges != 3 {
+		t.Fatalf("size = %d/%d", c.Vertices, c.Edges)
+	}
+	if math.Abs(c.GlobalCC-1) > 1e-12 {
+		t.Errorf("GlobalCC = %v, want 1", c.GlobalCC)
+	}
+	if math.Abs(c.AvgCC-1) > 1e-12 {
+		t.Errorf("AvgCC = %v, want 1", c.AvgCC)
+	}
+}
+
+func TestPathGraphNoTriangles(t *testing.T) {
+	g := buildUndirected(t, [][2]int64{{0, 1}, {1, 2}, {2, 3}})
+	c := Measure(g)
+	if c.GlobalCC != 0 || c.AvgCC != 0 {
+		t.Errorf("path graph CC = %v/%v, want 0/0", c.GlobalCC, c.AvgCC)
+	}
+}
+
+// A "kite": triangle 0-1-2 plus pendant 2-3. Known closed-form values.
+func TestKiteGraph(t *testing.T) {
+	g := buildUndirected(t, [][2]int64{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	c := Measure(g)
+	// Wedges: deg0=2:1, deg1=2:1, deg2=3:3, deg3=1:0 => 5 wedges, 1 triangle.
+	want := 3.0 * 1.0 / 5.0
+	if math.Abs(c.GlobalCC-want) > 1e-12 {
+		t.Errorf("GlobalCC = %v, want %v", c.GlobalCC, want)
+	}
+	// LCC: v0=1, v1=1, v2=1/3, v3=0 (degree<2) => avg = (1+1+1/3+0)/4
+	wantAvg := (1 + 1 + 1.0/3.0) / 4
+	if math.Abs(c.AvgCC-wantAvg) > 1e-12 {
+		t.Errorf("AvgCC = %v, want %v", c.AvgCC, wantAvg)
+	}
+}
+
+func TestCompleteGraphCC(t *testing.T) {
+	var edges [][2]int64
+	n := int64(7)
+	for i := int64(0); i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int64{i, j})
+		}
+	}
+	g := buildUndirected(t, edges)
+	c := Measure(g)
+	if math.Abs(c.GlobalCC-1) > 1e-12 || math.Abs(c.AvgCC-1) > 1e-12 {
+		t.Errorf("K7 CC = %v/%v, want 1/1", c.GlobalCC, c.AvgCC)
+	}
+}
+
+func TestAssortativityStar(t *testing.T) {
+	// Star graphs are maximally disassortative: r should be negative
+	// (-1 exactly for a star in the limit; with 5 leaves, exactly -1).
+	g := buildUndirected(t, [][2]int64{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}})
+	r := Assortativity(g)
+	if math.Abs(r-(-1)) > 1e-9 {
+		t.Errorf("star assortativity = %v, want -1", r)
+	}
+}
+
+func TestAssortativityRegularGraphDegenerate(t *testing.T) {
+	// Cycle: all degrees equal -> zero variance -> defined as 0.
+	g := buildUndirected(t, [][2]int64{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if r := Assortativity(g); r != 0 {
+		t.Errorf("cycle assortativity = %v, want 0", r)
+	}
+}
+
+func TestAssortativityRange(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	b := graph.NewBuilder(graph.Directed(false), graph.DropSelfLoops())
+	for i := 0; i < 500; i++ {
+		b.AddEdge(int64(r.Intn(100)), int64(r.Intn(100)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Assortativity(g)
+	if a < -1 || a > 1 || math.IsNaN(a) {
+		t.Errorf("assortativity out of range: %v", a)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := buildUndirected(t, [][2]int64{{0, 1}, {0, 2}, {0, 3}})
+	h := DegreeHistogram(g)
+	if h[3] != 1 || h[1] != 3 {
+		t.Errorf("histogram = %v, want {3:1, 1:3}", h)
+	}
+	var total int64
+	for _, c := range h {
+		total += c
+	}
+	if total != int64(g.NumVertices()) {
+		t.Errorf("histogram total = %d, want %d", total, g.NumVertices())
+	}
+}
+
+func TestDirectedGraphMeasuredOnUndirectedView(t *testing.T) {
+	// Directed triangle: 0->1->2->0. Undirected view is a triangle.
+	b := graph.NewBuilder(graph.Directed(true), graph.WithReverse())
+	b.AddEdgeID(0, 1)
+	b.AddEdgeID(1, 2)
+	b.AddEdgeID(2, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Measure(g)
+	if math.Abs(c.GlobalCC-1) > 1e-12 {
+		t.Errorf("GlobalCC = %v, want 1 (undirected view)", c.GlobalCC)
+	}
+	if c.Edges != 3 {
+		t.Errorf("Edges = %d, want 3", c.Edges)
+	}
+}
+
+// Property: 0 <= AvgCC, GlobalCC <= 1 on arbitrary graphs, and triangle
+// totals agree between per-vertex counts and transitivity arithmetic.
+func TestQuickCCRanges(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder(graph.Directed(false), graph.DropSelfLoops())
+		n := 30
+		b.SetNumVertices(n)
+		for i := 0; i < 120; i++ {
+			b.AddEdgeID(graph.VertexID(r.Intn(n)), graph.VertexID(r.Intn(n)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		c := Measure(g)
+		return c.GlobalCC >= 0 && c.GlobalCC <= 1+1e-12 &&
+			c.AvgCC >= 0 && c.AvgCC <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangle counts are invariant under vertex relabeling.
+func TestQuickTrianglesPermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder(graph.Directed(false), graph.DropSelfLoops())
+		n := 25
+		b.SetNumVertices(n)
+		for i := 0; i < 90; i++ {
+			b.AddEdgeID(graph.VertexID(r.Intn(n)), graph.VertexID(r.Intn(n)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		perm := graph.RandomOrder(g, uint64(seed)*3+1)
+		g2 := graph.Remap(g, perm)
+		return sum(TriangleCounts(g)) == sum(TriangleCounts(g2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sum(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,241 @@
+// Package graph provides the core in-memory graph representation used by
+// every component of the Graphalytics reproduction: a compressed sparse
+// row (CSR) structure with optional reverse adjacency, dense internal
+// vertex IDs, and an external label mapping.
+//
+// Design notes:
+//
+//   - Vertex IDs are dense uint32 indices in [0, NumVertices). External
+//     (file-level) identifiers are kept in an optional label table so that
+//     graphs loaded from arbitrary edge lists round-trip exactly.
+//   - Adjacency lists are always sorted ascending. Sortedness is relied
+//     upon by triangle counting, deterministic algorithm specifications,
+//     and merge-based set operations throughout the repository.
+//   - Undirected graphs are stored symmetrized: each undirected edge
+//     appears as two arcs. NumEdges reports logical edges (arcs/2 for
+//     undirected graphs), while NumArcs reports stored arcs.
+package graph
+
+import (
+	"fmt"
+)
+
+// VertexID is a dense internal vertex index in [0, NumVertices).
+type VertexID uint32
+
+// NoVertex is a sentinel meaning "no vertex" (e.g. unreachable BFS parent).
+const NoVertex = VertexID(^uint32(0))
+
+// Graph is an immutable CSR graph. Construct one with a Builder or one of
+// the loader/generator functions; a zero Graph is an empty graph.
+type Graph struct {
+	name     string
+	directed bool
+
+	n int // number of vertices
+
+	outIndex []int64 // len n+1; outEdges[outIndex[v]:outIndex[v+1]] sorted
+	outEdges []VertexID
+
+	// Reverse adjacency. For undirected graphs these alias the out arrays.
+	inIndex []int64
+	inEdges []VertexID
+
+	// labels maps internal ID -> external ID. nil means identity.
+	labels []int64
+}
+
+// Name returns the human-readable dataset name ("" if unset).
+func (g *Graph) Name() string { return g.name }
+
+// SetName sets the dataset name used in reports.
+func (g *Graph) SetName(name string) { g.name = name }
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumArcs returns the number of stored arcs (directed edges). For an
+// undirected graph this is twice NumEdges.
+func (g *Graph) NumArcs() int64 { return int64(len(g.outEdges)) }
+
+// NumEdges returns the number of logical edges: arcs for a directed
+// graph, arcs/2 for an undirected (symmetrized) graph.
+func (g *Graph) NumEdges() int64 {
+	if g.directed {
+		return int64(len(g.outEdges))
+	}
+	return int64(len(g.outEdges)) / 2
+}
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v VertexID) int {
+	return int(g.outIndex[v+1] - g.outIndex[v])
+}
+
+// InDegree returns the in-degree of v. For undirected graphs it equals
+// OutDegree. It panics if the graph was built without reverse adjacency.
+func (g *Graph) InDegree(v VertexID) int {
+	if g.inIndex == nil {
+		panic("graph: InDegree on a graph built without reverse adjacency")
+	}
+	return int(g.inIndex[v+1] - g.inIndex[v])
+}
+
+// HasReverse reports whether reverse (in-) adjacency is available.
+func (g *Graph) HasReverse() bool { return g.inIndex != nil }
+
+// OutNeighbors returns the sorted out-neighbors of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) OutNeighbors(v VertexID) []VertexID {
+	return g.outEdges[g.outIndex[v]:g.outIndex[v+1]]
+}
+
+// InNeighbors returns the sorted in-neighbors of v. The returned slice
+// aliases internal storage and must not be modified. It panics if the
+// graph was built without reverse adjacency.
+func (g *Graph) InNeighbors(v VertexID) []VertexID {
+	if g.inIndex == nil {
+		panic("graph: InNeighbors on a graph built without reverse adjacency")
+	}
+	return g.inEdges[g.inIndex[v]:g.inIndex[v+1]]
+}
+
+// Neighborhood appends the sorted union of in- and out-neighbors of v
+// (excluding v itself) to buf and returns it. For undirected graphs this
+// is just the adjacency list minus self-loops. The union is the
+// neighborhood used by the local clustering coefficient specification.
+func (g *Graph) Neighborhood(v VertexID, buf []VertexID) []VertexID {
+	out := g.OutNeighbors(v)
+	if !g.directed || g.inIndex == nil {
+		for _, u := range out {
+			if u != v && (len(buf) == 0 || buf[len(buf)-1] != u) {
+				buf = append(buf, u)
+			}
+		}
+		return buf
+	}
+	in := g.InNeighbors(v)
+	i, j := 0, 0
+	last := NoVertex
+	appendOne := func(u VertexID) {
+		if u != v && u != last {
+			buf = append(buf, u)
+			last = u
+		}
+	}
+	for i < len(out) && j < len(in) {
+		switch {
+		case out[i] < in[j]:
+			appendOne(out[i])
+			i++
+		case out[i] > in[j]:
+			appendOne(in[j])
+			j++
+		default:
+			appendOne(out[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(out); i++ {
+		appendOne(out[i])
+	}
+	for ; j < len(in); j++ {
+		appendOne(in[j])
+	}
+	return buf
+}
+
+// HasArc reports whether the arc u->v exists, by binary search over the
+// sorted adjacency of u.
+func (g *Graph) HasArc(u, v VertexID) bool {
+	adj := g.OutNeighbors(u)
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if adj[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(adj) && adj[lo] == v
+}
+
+// Label returns the external identifier of internal vertex v.
+func (g *Graph) Label(v VertexID) int64 {
+	if g.labels == nil {
+		return int64(v)
+	}
+	return g.labels[v]
+}
+
+// Labels returns the external label table (nil means identity mapping).
+// The returned slice must not be modified.
+func (g *Graph) Labels() []int64 { return g.labels }
+
+// MaxDegree returns the maximum out-degree in the graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := g.OutDegree(VertexID(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Arcs calls fn for every stored arc (u, v). Iteration order is by source
+// vertex, then ascending target.
+func (g *Graph) Arcs(fn func(u, v VertexID)) {
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.OutNeighbors(VertexID(u)) {
+			fn(VertexID(u), v)
+		}
+	}
+}
+
+// Edges calls fn once per logical edge. For undirected graphs each edge
+// {u,v} is reported once with u <= v; for directed graphs it is the same
+// as Arcs.
+func (g *Graph) Edges(fn func(u, v VertexID)) {
+	if g.directed {
+		g.Arcs(fn)
+		return
+	}
+	g.Arcs(func(u, v VertexID) {
+		if u <= v {
+			fn(u, v)
+		}
+	})
+}
+
+// MemoryFootprint returns an estimate of the heap bytes held by the
+// graph's CSR arrays. Used by the System Monitor and platform memory
+// budgets.
+func (g *Graph) MemoryFootprint() int64 {
+	b := int64(len(g.outIndex))*8 + int64(len(g.outEdges))*4
+	if g.inIndex != nil && g.directed {
+		b += int64(len(g.inIndex))*8 + int64(len(g.inEdges))*4
+	}
+	if g.labels != nil {
+		b += int64(len(g.labels)) * 8
+	}
+	return b
+}
+
+// String returns a short description like "patents (directed, 3774768 vertices, 16518948 edges)".
+func (g *Graph) String() string {
+	kind := "undirected"
+	if g.directed {
+		kind = "directed"
+	}
+	name := g.name
+	if name == "" {
+		name = "graph"
+	}
+	return fmt.Sprintf("%s (%s, %d vertices, %d edges)", name, kind, g.n, g.NumEdges())
+}

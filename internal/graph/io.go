@@ -1,0 +1,234 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// The Graphalytics on-disk format is a pair of text files:
+//
+//	<name>.v   one external vertex identifier per line
+//	<name>.e   one edge per line: "<src> <dst>" (whitespace separated)
+//
+// Lines starting with '#' or '%' are comments. The .v file is optional
+// when loading; without it, the vertex set is the set of edge endpoints.
+
+// LoadOptions configures graph loading.
+type LoadOptions struct {
+	Directed  bool   // interpret edges as directed arcs
+	Name      string // dataset name; defaults to the file base name
+	DropLoops bool   // drop self-loop edges
+}
+
+// LoadEdgeList reads a graph from edgePath (.e format) and, if vertexPath
+// is non-empty, the vertex file (.v format).
+func LoadEdgeList(edgePath, vertexPath string, opts LoadOptions) (*Graph, error) {
+	name := opts.Name
+	if name == "" {
+		name = strings.TrimSuffix(filepath.Base(edgePath), filepath.Ext(edgePath))
+	}
+	bopts := []BuilderOption{Directed(opts.Directed), Dedup(), WithName(name)}
+	if opts.Directed {
+		bopts = append(bopts, WithReverse())
+	}
+	if opts.DropLoops {
+		bopts = append(bopts, DropSelfLoops())
+	}
+	b := NewBuilder(bopts...)
+
+	if vertexPath != "" {
+		vf, err := os.Open(vertexPath)
+		if err != nil {
+			return nil, fmt.Errorf("graph: open vertex file: %w", err)
+		}
+		defer vf.Close()
+		if err := readVertices(vf, b); err != nil {
+			return nil, fmt.Errorf("graph: %s: %w", vertexPath, err)
+		}
+	} else {
+		// Force label mode so edge files with sparse IDs densify.
+		b.useLabels = true
+		b.ext2int = make(map[int64]VertexID)
+	}
+
+	ef, err := os.Open(edgePath)
+	if err != nil {
+		return nil, fmt.Errorf("graph: open edge file: %w", err)
+	}
+	defer ef.Close()
+	if err := readEdges(ef, b); err != nil {
+		return nil, fmt.Errorf("graph: %s: %w", edgePath, err)
+	}
+	return b.Build()
+}
+
+// ReadGraph parses a graph from in-memory readers (vertices may be nil).
+func ReadGraph(edges io.Reader, vertices io.Reader, opts LoadOptions) (*Graph, error) {
+	bopts := []BuilderOption{Directed(opts.Directed), Dedup(), WithName(opts.Name)}
+	if opts.Directed {
+		bopts = append(bopts, WithReverse())
+	}
+	if opts.DropLoops {
+		bopts = append(bopts, DropSelfLoops())
+	}
+	b := NewBuilder(bopts...)
+	if vertices != nil {
+		if err := readVertices(vertices, b); err != nil {
+			return nil, err
+		}
+	} else {
+		b.useLabels = true
+		b.ext2int = make(map[int64]VertexID)
+	}
+	if err := readEdges(edges, b); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+func readVertices(r io.Reader, b *Builder) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		// Vertex files may carry property columns; the first field is the ID.
+		if i := strings.IndexAny(text, " \t"); i >= 0 {
+			text = text[:i]
+		}
+		id, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad vertex id %q", line, text)
+		}
+		b.AddVertex(id)
+	}
+	return sc.Err()
+}
+
+func readEdges(r io.Reader, b *Builder) error {
+	br := bufio.NewReaderSize(r, 1<<20)
+	line := 0
+	for {
+		text, err := br.ReadString('\n')
+		if len(text) > 0 {
+			line++
+			if perr := parseEdgeLine(text, line, b); perr != nil {
+				return perr
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func parseEdgeLine(text string, line int, b *Builder) error {
+	s := strings.TrimSpace(text)
+	if s == "" || s[0] == '#' || s[0] == '%' {
+		return nil
+	}
+	src, rest, ok := cutInt(s)
+	if !ok {
+		return fmt.Errorf("line %d: bad edge line %q", line, s)
+	}
+	dst, _, ok := cutInt(rest)
+	if !ok {
+		return fmt.Errorf("line %d: bad edge line %q", line, s)
+	}
+	b.AddEdge(src, dst)
+	return nil
+}
+
+// cutInt parses a leading base-10 integer from s and returns the value,
+// the remainder after separators, and whether parsing succeeded. It is a
+// fast path replacement for Split+ParseInt on hot loader loops.
+func cutInt(s string) (int64, string, bool) {
+	i := 0
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t' || s[i] == ',') {
+		i++
+	}
+	start := i
+	neg := false
+	if i < len(s) && (s[i] == '-' || s[i] == '+') {
+		neg = s[i] == '-'
+		i++
+	}
+	var v int64
+	digits := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		v = v*10 + int64(s[i]-'0')
+		i++
+		digits++
+	}
+	if digits == 0 {
+		return 0, s[start:], false
+	}
+	if neg {
+		v = -v
+	}
+	return v, s[i:], true
+}
+
+// WriteEdgeList writes the graph to w in .e format (one logical edge per
+// line, external labels). Undirected graphs write each edge once.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var err error
+	g.Edges(func(u, v VertexID) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(bw, "%d %d\n", g.Label(u), g.Label(v))
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteVertexList writes the graph's vertex set to w in .v format.
+func (g *Graph) WriteVertexList(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for v := 0; v < g.n; v++ {
+		if _, err := fmt.Fprintf(bw, "%d\n", g.Label(VertexID(v))); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFiles writes <prefix>.v and <prefix>.e files for the graph.
+func (g *Graph) SaveFiles(prefix string) error {
+	vf, err := os.Create(prefix + ".v")
+	if err != nil {
+		return err
+	}
+	if err := g.WriteVertexList(vf); err != nil {
+		vf.Close()
+		return err
+	}
+	if err := vf.Close(); err != nil {
+		return err
+	}
+	ef, err := os.Create(prefix + ".e")
+	if err != nil {
+		return err
+	}
+	if err := g.WriteEdgeList(ef); err != nil {
+		ef.Close()
+		return err
+	}
+	return ef.Close()
+}

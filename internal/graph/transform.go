@@ -1,0 +1,232 @@
+package graph
+
+import "sort"
+
+// Undirect returns an undirected (symmetrized, deduplicated) view of g as
+// a new graph. If g is already undirected it is returned unchanged.
+func Undirect(g *Graph) *Graph {
+	if !g.directed {
+		return g
+	}
+	srcs := make([]VertexID, 0, g.NumArcs())
+	dsts := make([]VertexID, 0, g.NumArcs())
+	g.Arcs(func(u, v VertexID) {
+		if u != v {
+			srcs = append(srcs, u)
+			dsts = append(dsts, v)
+		}
+	})
+	out := FromArcs(g.name, g.n, srcs, dsts, false)
+	out.labels = g.labels
+	return out
+}
+
+// Remap returns a new graph whose vertex v is the old vertex perm[v];
+// that is, perm is the new-order listing of old IDs (a permutation).
+// External labels follow their vertices. Remapping is used by the
+// access-locality ablation (§2.1 "poor access locality").
+func Remap(g *Graph, perm []VertexID) *Graph {
+	if len(perm) != g.n {
+		panic("graph: Remap permutation has wrong length")
+	}
+	inv := make([]VertexID, g.n) // old -> new
+	for newID, oldID := range perm {
+		inv[oldID] = VertexID(newID)
+	}
+	srcs := make([]VertexID, 0, g.NumArcs())
+	dsts := make([]VertexID, 0, g.NumArcs())
+	g.Arcs(func(u, v VertexID) {
+		srcs = append(srcs, inv[u])
+		dsts = append(dsts, inv[v])
+	})
+	var out *Graph
+	if g.directed {
+		out = FromArcs(g.name, g.n, srcs, dsts, true)
+	} else {
+		// Arcs already contain both directions; rebuild directly to avoid
+		// re-symmetrizing.
+		out = &Graph{name: g.name, directed: false, n: g.n}
+		out.outIndex, out.outEdges = buildCSR(g.n, srcs, dsts, true)
+		out.inIndex, out.inEdges = out.outIndex, out.outEdges
+	}
+	if g.labels != nil {
+		labels := make([]int64, g.n)
+		for newID, oldID := range perm {
+			labels[newID] = g.labels[oldID]
+		}
+		out.labels = labels
+	}
+	return out
+}
+
+// DegreeOrder returns a permutation that sorts vertices by descending
+// out-degree (ties by ID). Used by the locality ablation.
+func DegreeOrder(g *Graph) []VertexID {
+	perm := make([]VertexID, g.n)
+	for i := range perm {
+		perm[i] = VertexID(i)
+	}
+	sort.Slice(perm, func(i, j int) bool {
+		di, dj := g.OutDegree(perm[i]), g.OutDegree(perm[j])
+		if di != dj {
+			return di > dj
+		}
+		return perm[i] < perm[j]
+	})
+	return perm
+}
+
+// BFSOrder returns a permutation listing vertices in BFS discovery order
+// from source (unreached vertices appended in ID order). BFS ordering
+// improves cache locality of frontier expansion.
+func BFSOrder(g *Graph, source VertexID) []VertexID {
+	perm := make([]VertexID, 0, g.n)
+	seen := make([]bool, g.n)
+	queue := []VertexID{source}
+	seen[source] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		perm = append(perm, v)
+		for _, u := range g.OutNeighbors(v) {
+			if !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		if !seen[v] {
+			perm = append(perm, VertexID(v))
+		}
+	}
+	return perm
+}
+
+// RandomOrder returns a deterministic pseudo-random permutation of the
+// vertices derived from seed.
+func RandomOrder(g *Graph, seed uint64) []VertexID {
+	perm := make([]VertexID, g.n)
+	for i := range perm {
+		perm[i] = VertexID(i)
+	}
+	// Fisher-Yates with SplitMix64 stream.
+	s := seed
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := g.n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// InducedSubgraph returns the subgraph induced by keep (a vertex
+// predicate). Kept vertices are renumbered densely in ascending old-ID
+// order; labels follow.
+func InducedSubgraph(g *Graph, keep func(VertexID) bool) *Graph {
+	newID := make([]VertexID, g.n)
+	n := 0
+	for v := 0; v < g.n; v++ {
+		if keep(VertexID(v)) {
+			newID[v] = VertexID(n)
+			n++
+		} else {
+			newID[v] = NoVertex
+		}
+	}
+	var srcs, dsts []VertexID
+	g.Arcs(func(u, v VertexID) {
+		if newID[u] != NoVertex && newID[v] != NoVertex {
+			srcs = append(srcs, newID[u])
+			dsts = append(dsts, newID[v])
+		}
+	})
+	var out *Graph
+	if g.directed {
+		out = FromArcs(g.name, n, srcs, dsts, true)
+	} else {
+		out = &Graph{name: g.name, directed: false, n: n}
+		out.outIndex, out.outEdges = buildCSR(n, srcs, dsts, true)
+		out.inIndex, out.inEdges = out.outIndex, out.outEdges
+	}
+	if g.labels != nil {
+		labels := make([]int64, 0, n)
+		for v := 0; v < g.n; v++ {
+			if newID[v] != NoVertex {
+				labels = append(labels, g.labels[v])
+			}
+		}
+		out.labels = labels
+	}
+	return out
+}
+
+// AddVertices returns a copy of g with extra isolated vertices appended
+// (used by the EVO forest-fire algorithm to grow the graph).
+func AddVertices(g *Graph, extra int) *Graph {
+	srcs := make([]VertexID, 0, g.NumArcs())
+	dsts := make([]VertexID, 0, g.NumArcs())
+	g.Arcs(func(u, v VertexID) {
+		srcs = append(srcs, u)
+		dsts = append(dsts, v)
+	})
+	n := g.n + extra
+	var out *Graph
+	if g.directed {
+		out = FromArcs(g.name, n, srcs, dsts, true)
+	} else {
+		out = &Graph{name: g.name, directed: false, n: n}
+		out.outIndex, out.outEdges = buildCSR(n, srcs, dsts, true)
+		out.inIndex, out.inEdges = out.outIndex, out.outEdges
+	}
+	if g.labels != nil {
+		labels := make([]int64, n)
+		copy(labels, g.labels)
+		maxLabel := int64(-1)
+		for _, l := range g.labels {
+			if l > maxLabel {
+				maxLabel = l
+			}
+		}
+		for i := g.n; i < n; i++ {
+			maxLabel++
+			labels[i] = maxLabel
+		}
+		out.labels = labels
+	}
+	return out
+}
+
+// WithEdges returns a copy of g with the given extra arcs added (dense
+// IDs; targets may reference vertices up to n-1 of g). For undirected
+// graphs pass each new edge once.
+func WithEdges(g *Graph, srcs, dsts []VertexID) *Graph {
+	as := make([]VertexID, 0, int(g.NumArcs())+2*len(srcs))
+	ad := make([]VertexID, 0, int(g.NumArcs())+2*len(srcs))
+	g.Arcs(func(u, v VertexID) {
+		as = append(as, u)
+		ad = append(ad, v)
+	})
+	as = append(as, srcs...)
+	ad = append(ad, dsts...)
+	if !g.directed {
+		as = append(as, dsts...)
+		ad = append(ad, srcs...)
+	}
+	var out *Graph
+	if g.directed {
+		out = FromArcs(g.name, g.n, as, ad, true)
+	} else {
+		out = &Graph{name: g.name, directed: false, n: g.n}
+		out.outIndex, out.outEdges = buildCSR(g.n, as, ad, true)
+		out.inIndex, out.inEdges = out.outIndex, out.outEdges
+	}
+	out.labels = g.labels
+	return out
+}

@@ -1,0 +1,126 @@
+// Package monitor implements the System Monitor of the Graphalytics
+// architecture (Figure 2): it is "responsible for gathering resource
+// utilization statistics from the SUT" while a benchmark job runs. The
+// monitor samples the Go runtime (heap, goroutines, GC) on a fixed
+// interval and reports a timeline plus peak values.
+package monitor
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Sample is one resource-utilization observation.
+type Sample struct {
+	At         time.Duration // offset from monitor start
+	HeapBytes  uint64
+	Goroutines int
+	GCCount    uint32
+}
+
+// Report summarizes a monitoring session.
+type Report struct {
+	Samples        []Sample
+	PeakHeapBytes  uint64
+	PeakGoroutines int
+	GCCycles       uint32
+	Duration       time.Duration
+}
+
+// Monitor samples resource usage in the background.
+type Monitor struct {
+	interval time.Duration
+	mu       sync.Mutex
+	samples  []Sample
+	stop     chan struct{}
+	done     chan struct{}
+	start    time.Time
+	startGC  uint32
+	running  bool
+}
+
+// New returns a monitor sampling at the given interval (default 10ms).
+func New(interval time.Duration) *Monitor {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	return &Monitor{interval: interval}
+}
+
+// Start begins sampling. It is an error to start a running monitor.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.running {
+		return
+	}
+	m.running = true
+	m.samples = nil
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	m.start = time.Now()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.startGC = ms.NumGC
+	go m.loop()
+}
+
+func (m *Monitor) loop() {
+	defer close(m.done)
+	tick := time.NewTicker(m.interval)
+	defer tick.Stop()
+	m.sample()
+	for {
+		select {
+		case <-m.stop:
+			m.sample()
+			return
+		case <-tick.C:
+			m.sample()
+		}
+	}
+}
+
+func (m *Monitor) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := Sample{
+		At:         time.Since(m.start),
+		HeapBytes:  ms.HeapAlloc,
+		Goroutines: runtime.NumGoroutine(),
+		GCCount:    ms.NumGC,
+	}
+	m.mu.Lock()
+	m.samples = append(m.samples, s)
+	m.mu.Unlock()
+}
+
+// Stop ends sampling and returns the report.
+func (m *Monitor) Stop() Report {
+	m.mu.Lock()
+	if !m.running {
+		m.mu.Unlock()
+		return Report{}
+	}
+	m.running = false
+	m.mu.Unlock()
+	close(m.stop)
+	<-m.done
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := Report{Samples: m.samples, Duration: time.Since(m.start)}
+	for _, s := range m.samples {
+		if s.HeapBytes > r.PeakHeapBytes {
+			r.PeakHeapBytes = s.HeapBytes
+		}
+		if s.Goroutines > r.PeakGoroutines {
+			r.PeakGoroutines = s.Goroutines
+		}
+	}
+	if n := len(m.samples); n > 0 {
+		r.GCCycles = m.samples[n-1].GCCount - m.startGC
+	}
+	return r
+}

@@ -1,0 +1,69 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMonitorCollectsSamples(t *testing.T) {
+	m := New(time.Millisecond)
+	m.Start()
+	// Allocate something observable while sampling.
+	buf := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		buf = append(buf, make([]byte, 1<<16))
+		time.Sleep(200 * time.Microsecond)
+	}
+	_ = buf
+	rep := m.Stop()
+	if len(rep.Samples) < 3 {
+		t.Fatalf("samples = %d, want several", len(rep.Samples))
+	}
+	if rep.PeakHeapBytes == 0 {
+		t.Error("peak heap is zero")
+	}
+	if rep.PeakGoroutines == 0 {
+		t.Error("peak goroutines is zero")
+	}
+	if rep.Duration <= 0 {
+		t.Error("duration not recorded")
+	}
+	// Sample offsets must be non-decreasing.
+	for i := 1; i < len(rep.Samples); i++ {
+		if rep.Samples[i].At < rep.Samples[i-1].At {
+			t.Fatal("sample offsets decreasing")
+		}
+	}
+}
+
+func TestStopWithoutStart(t *testing.T) {
+	m := New(time.Millisecond)
+	rep := m.Stop()
+	if len(rep.Samples) != 0 {
+		t.Error("unstarted monitor should return empty report")
+	}
+}
+
+func TestDoubleStartIsSafe(t *testing.T) {
+	m := New(time.Millisecond)
+	m.Start()
+	m.Start() // no-op
+	time.Sleep(5 * time.Millisecond)
+	rep := m.Stop()
+	if len(rep.Samples) == 0 {
+		t.Error("no samples after start")
+	}
+}
+
+func TestRestartAfterStop(t *testing.T) {
+	m := New(time.Millisecond)
+	m.Start()
+	time.Sleep(3 * time.Millisecond)
+	first := m.Stop()
+	m.Start()
+	time.Sleep(3 * time.Millisecond)
+	second := m.Stop()
+	if len(first.Samples) == 0 || len(second.Samples) == 0 {
+		t.Error("restart lost samples")
+	}
+}

@@ -1,0 +1,389 @@
+package dataflow
+
+import (
+	"context"
+	"sort"
+
+	"graphalytics/internal/algo"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/platform"
+	"graphalytics/internal/xrand"
+)
+
+// ------------------------------ BFS ------------------------------
+
+func (l *loaded) runBFS(ctx context.Context, env *Env, p algo.Params) (algo.BFSOutput, error) {
+	n := l.g.NumVertices()
+	depths, err := MapVertices(env, n, 8, func(v graph.VertexID) int64 {
+		if v == p.Source {
+			return 0
+		}
+		return -1
+	})
+	if err != nil {
+		return nil, err
+	}
+	active := make([]bool, n)
+	if int(p.Source) < n {
+		active[p.Source] = true
+	}
+
+	for iter := 0; iter < p.MaxIterations; iter++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		env.Counters.Supersteps++
+		msgs, err := AggregateMessages(env, depths, 8, 8,
+			func(c *Ctx[int64], u, v graph.VertexID, du, dv int64) {
+				if active[u] && dv == -1 {
+					c.SendToDst(v, du+1)
+				}
+			},
+			func(a, b int64) int64 {
+				if a < b {
+					return a
+				}
+				return b
+			})
+		if err != nil {
+			return nil, err
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		nextActive := make([]bool, n)
+		depths, err = JoinVertices(env, depths, 8, msgs, func(v graph.VertexID, d int64, m int64) int64 {
+			if d == -1 {
+				nextActive[v] = true
+				return m
+			}
+			return d
+		})
+		if err != nil {
+			return nil, err
+		}
+		active = nextActive
+	}
+	return algo.BFSOutput(depths), nil
+}
+
+// ------------------------------ CONN ------------------------------
+
+func (l *loaded) runConn(ctx context.Context, env *Env, p algo.Params) (algo.ConnOutput, error) {
+	n := l.g.NumVertices()
+	labels, err := MapVertices(env, n, 4, func(v graph.VertexID) graph.VertexID { return v })
+	if err != nil {
+		return nil, err
+	}
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+
+	min := func(a, b graph.VertexID) graph.VertexID {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	for iter := 0; iter < p.MaxIterations; iter++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		env.Counters.Supersteps++
+		msgs, err := AggregateMessages(env, labels, 4, 4,
+			func(c *Ctx[graph.VertexID], u, v graph.VertexID, du, dv graph.VertexID) {
+				if active[u] && du < dv {
+					c.SendToDst(v, du)
+				}
+				if active[v] && dv < du {
+					c.SendToSrc(u, dv)
+				}
+			}, min)
+		if err != nil {
+			return nil, err
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		nextActive := make([]bool, n)
+		changed := false
+		labels, err = JoinVertices(env, labels, 4, msgs, func(v graph.VertexID, d graph.VertexID, m graph.VertexID) graph.VertexID {
+			if m < d {
+				nextActive[v] = true
+				changed = true
+				return m
+			}
+			return d
+		})
+		if err != nil {
+			return nil, err
+		}
+		active = nextActive
+		if !changed {
+			break
+		}
+	}
+	return algo.ConnOutput(labels), nil
+}
+
+// ------------------------------ CD ------------------------------
+
+// cdVD is the CD vertex attribute.
+type cdVD struct {
+	label  int64
+	score  float64
+	degree int32
+}
+
+func (l *loaded) runCD(ctx context.Context, env *Env, p algo.Params) (algo.CDOutput, error) {
+	n := l.g.NumVertices()
+	var buf []graph.VertexID
+	verts, err := MapVertices(env, n, 20, func(v graph.VertexID) cdVD {
+		buf = l.g.Neighborhood(v, buf[:0])
+		return cdVD{label: int64(v), score: 1, degree: int32(len(buf))}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for iter := 0; iter < p.CDIterations; iter++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		env.Counters.Supersteps++
+		// Votes travel once per unordered neighbor pair (canonical arcs),
+		// merged by list concatenation; TallyVotes canonicalizes order.
+		msgs, err := AggregateMessages(env, verts, 20, 20,
+			func(c *Ctx[[]algo.Vote], u, v graph.VertexID, du, dv cdVD) {
+				if !CanonicalArc(l.g, u, v) {
+					return
+				}
+				c.SendToDst(v, []algo.Vote{{Label: du.label, Score: du.score, Degree: du.degree}})
+				c.SendToSrc(u, []algo.Vote{{Label: dv.label, Score: dv.score, Degree: dv.degree}})
+			},
+			func(a, b []algo.Vote) []algo.Vote { return append(a, b...) })
+		if err != nil {
+			return nil, err
+		}
+		verts, err = JoinVertices(env, verts, 20, msgs, func(v graph.VertexID, d cdVD, votes []algo.Vote) cdVD {
+			win, maxScore, ok := algo.TallyVotes(votes, p.CDPreference)
+			if !ok {
+				return d
+			}
+			s := maxScore
+			if win != d.label {
+				s -= p.CDDelta
+			}
+			if s < 0 {
+				s = 0
+			}
+			return cdVD{label: win, score: s, degree: d.degree}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make(algo.CDOutput, n)
+	for v := 0; v < n; v++ {
+		out[v] = verts[v].label
+	}
+	return out, nil
+}
+
+// ------------------------------ STATS ------------------------------
+
+func (l *loaded) runStats(ctx context.Context, env *Env, p algo.Params) (algo.StatsOutput, error) {
+	n := l.g.NumVertices()
+	// Round 1: collect neighbor IDs (both directions), dedup + sort.
+	empty, err := MapVertices(env, n, 24, func(graph.VertexID) []graph.VertexID { return nil })
+	if err != nil {
+		return algo.StatsOutput{}, err
+	}
+	env.Counters.Supersteps++
+	collected, err := AggregateMessages(env, empty, 24, 24,
+		func(c *Ctx[[]graph.VertexID], u, v graph.VertexID, _, _ []graph.VertexID) {
+			c.SendToDst(v, []graph.VertexID{u})
+			c.SendToSrc(u, []graph.VertexID{v})
+		},
+		func(a, b []graph.VertexID) []graph.VertexID { return append(a, b...) })
+	if err != nil {
+		return algo.StatsOutput{}, err
+	}
+	nbhBytes := int64(0)
+	nbh, err := JoinVertices(env, empty, 24, collected, func(v graph.VertexID, _ []graph.VertexID, ids []graph.VertexID) []graph.VertexID {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out := ids[:0]
+		var last graph.VertexID
+		for i, x := range ids {
+			if x == v {
+				continue
+			}
+			if i > 0 && x == last && len(out) > 0 {
+				continue
+			}
+			out = append(out, x)
+			last = x
+		}
+		nbhBytes += int64(len(out)) * 4
+		return out
+	})
+	if err != nil {
+		return algo.StatsOutput{}, err
+	}
+	if err := env.allocRetained(nbhBytes); err != nil {
+		return algo.StatsOutput{}, err
+	}
+
+	// Round 2: per canonical neighbor pair, exchange closed-pair counts.
+	env.Counters.Supersteps++
+	counts, err := AggregateMessages(env, nbh, 24, 8,
+		func(c *Ctx[int64], u, v graph.VertexID, nu, nv []graph.VertexID) {
+			if !CanonicalArc(l.g, u, v) {
+				return
+			}
+			if len(nv) >= 2 {
+				c.SendToDst(v, algo.CountClosedPairs(l.g.OutNeighbors(u), nv, u))
+			}
+			if len(nu) >= 2 {
+				c.SendToSrc(u, algo.CountClosedPairs(l.g.OutNeighbors(v), nu, v))
+			}
+		},
+		func(a, b int64) int64 { return a + b })
+	if err != nil {
+		return algo.StatsOutput{}, err
+	}
+	var sum float64
+	for v := 0; v < n; v++ {
+		d := float64(len(nbh[v]))
+		if d >= 2 {
+			sum += float64(counts[graph.VertexID(v)]) / (d * (d - 1))
+		}
+	}
+	return algo.StatsOutput{Vertices: n, Edges: l.g.NumEdges(), MeanLCC: sum / float64(n)}, nil
+}
+
+// ------------------------------ EVO ------------------------------
+
+// evoVD is the EVO vertex attribute: the fires that burned the vertex.
+type evoVD struct {
+	burned []uint32
+}
+
+func (l *loaded) runEvo(ctx context.Context, env *Env, p algo.Params) (algo.EvoOutput, error) {
+	n := l.g.NumVertices()
+	k := p.EvoNewVertices
+
+	verts, err := MapVertices(env, n, 32, func(graph.VertexID) evoVD { return evoVD{} })
+	if err != nil {
+		return algo.EvoOutput{}, err
+	}
+
+	burnedCount := make([]int, k)
+	dead := make([]bool, k)
+	allowed := make(map[graph.VertexID][]uint32)
+	for f := 0; f < k; f++ {
+		a := graph.VertexID(xrand.Mix3(p.Seed, uint64(n+f), 0) % uint64(n))
+		allowed[a] = append(allowed[a], uint32(f))
+		burnedCount[f] = 1
+	}
+
+	has := func(list []uint32, f uint32) bool {
+		for _, x := range list {
+			if x == f {
+				return true
+			}
+		}
+		return false
+	}
+
+	for level := 0; level < p.MaxIterations && len(allowed) > 0; level++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return algo.EvoOutput{}, err
+		}
+		env.Counters.Supersteps++
+
+		// Burn the approved vertices (new dataset version) and compute
+		// the driver-side spread targets for this level.
+		spread := make(map[graph.VertexID][]uint32) // target -> requesting fires
+		levelAllowed := allowed
+		verts, err = JoinVertices(env, verts, 32, levelAllowed, func(v graph.VertexID, d evoVD, fires []uint32) evoVD {
+			nb := append(append([]uint32(nil), d.burned...), fires...)
+			return evoVD{burned: nb}
+		})
+		if err != nil {
+			return algo.EvoOutput{}, err
+		}
+		// Deterministic spread: iterate burning vertices in ascending ID
+		// order, fires ascending.
+		burnVs := make([]graph.VertexID, 0, len(levelAllowed))
+		for v := range levelAllowed {
+			burnVs = append(burnVs, v)
+		}
+		sort.Slice(burnVs, func(i, j int) bool { return burnVs[i] < burnVs[j] })
+		for _, v := range burnVs {
+			fires := append([]uint32(nil), levelAllowed[v]...)
+			sort.Slice(fires, func(i, j int) bool { return fires[i] < fires[j] })
+			for _, f := range fires {
+				picks := algo.FirePicks(l.g, graph.VertexID(n+int(f)), v, p)
+				env.Counters.Messages += int64(len(picks))
+				env.Counters.MessageBytes += int64(len(picks)) * 4
+				env.Counters.EdgesTraversed += int64(len(picks))
+				for _, w := range picks {
+					if !has(spread[w], f) {
+						spread[w] = append(spread[w], f)
+					}
+				}
+			}
+		}
+
+		// Candidate resolution against local burn state, then the cap
+		// verdict (driver master logic, same as every other platform).
+		cands := make(map[uint32][]graph.VertexID)
+		for w, fires := range spread {
+			for _, f := range fires {
+				if has(verts[w].burned, f) {
+					continue
+				}
+				cands[f] = append(cands[f], w)
+			}
+		}
+		allowed = make(map[graph.VertexID][]uint32)
+		fireIDs := make([]int, 0, len(cands))
+		for f := range cands {
+			fireIDs = append(fireIDs, int(f))
+		}
+		sort.Ints(fireIDs)
+		for _, fi := range fireIDs {
+			f := uint32(fi)
+			if dead[f] {
+				continue
+			}
+			vs := cands[f]
+			sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+			room := p.EvoMaxBurn - burnedCount[f]
+			if len(vs) >= room {
+				vs = vs[:room]
+				dead[f] = true
+			}
+			burnedCount[f] += len(vs)
+			for _, v := range vs {
+				allowed[v] = append(allowed[v], f)
+			}
+		}
+	}
+
+	out := algo.EvoOutput{NewVertices: k}
+	for v := 0; v < n; v++ {
+		for _, f := range verts[v].burned {
+			out.Edges = append(out.Edges, [2]graph.VertexID{graph.VertexID(n + int(f)), graph.VertexID(v)})
+		}
+	}
+	sort.Slice(out.Edges, func(i, j int) bool {
+		if out.Edges[i][0] != out.Edges[j][0] {
+			return out.Edges[i][0] < out.Edges[j][0]
+		}
+		return out.Edges[i][1] < out.Edges[j][1]
+	})
+	return out, nil
+}

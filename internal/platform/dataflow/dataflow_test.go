@@ -1,0 +1,122 @@
+package dataflow
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"graphalytics/internal/algo"
+	"graphalytics/internal/gen/datagen"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/platform"
+	"graphalytics/internal/platform/platformtest"
+)
+
+func TestConformance(t *testing.T) {
+	platformtest.Conformance(t, New(Options{}))
+}
+
+func TestConformanceSinglePartition(t *testing.T) {
+	platformtest.Conformance(t, New(Options{Parts: 1}))
+}
+
+func TestCountersPopulated(t *testing.T) {
+	platformtest.CountersPopulated(t, New(Options{}))
+}
+
+func TestName(t *testing.T) {
+	if New(Options{}).Name() != "dataflow" {
+		t.Error("name")
+	}
+}
+
+func TestLoadOOM(t *testing.T) {
+	g, err := datagen.Generate(datagen.Config{Persons: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Options{MemoryBudget: 1000})
+	if _, err := p.LoadGraph(g); !errors.Is(err, platform.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestRunOOMOnTightBudget(t *testing.T) {
+	g, err := datagen.Generate(datagen.Config{Persons: 5000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget fits the edge dataset but not the iteration state: the
+	// GraphX failure mode ("GraphX is unable to process some of the
+	// workloads", §3.3).
+	budget := 2*g.MemoryFootprint() + 50_000
+	p := New(Options{MemoryBudget: budget})
+	loaded, err := p.LoadGraph(g)
+	if err != nil {
+		t.Fatalf("load should succeed: %v", err)
+	}
+	defer loaded.Close()
+	if _, err := loaded.Run(context.Background(), algo.STATS, algo.Params{}); !errors.Is(err, platform.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestDataflowUsesMoreMemoryThanCSR(t *testing.T) {
+	// The immutability + mirroring overhead must be visible: peak memory
+	// of a CONN run should exceed several times the raw CSR bytes.
+	g, err := datagen.Generate(datagen.Config{Persons: 3000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Options{})
+	loaded, err := p.LoadGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	res, err := loaded.Run(context.Background(), algo.CONN, algo.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.PeakMemoryBytes < 2*g.MemoryFootprint() {
+		t.Errorf("peak %d bytes should exceed 2× CSR %d", res.Counters.PeakMemoryBytes, g.MemoryFootprint())
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	g, _ := datagen.Generate(datagen.Config{Persons: 2000, Seed: 4})
+	p := New(Options{})
+	loaded, _ := p.LoadGraph(g)
+	defer loaded.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := loaded.Run(ctx, algo.CD, algo.Params{}); err == nil {
+		t.Fatal("cancelled context should abort")
+	}
+}
+
+func TestUnsupportedKind(t *testing.T) {
+	g, _ := datagen.Generate(datagen.Config{Persons: 100, Seed: 5})
+	loaded, _ := New(Options{}).LoadGraph(g)
+	defer loaded.Close()
+	if _, err := loaded.Run(context.Background(), algo.Kind("XX"), algo.Params{}); !errors.Is(err, platform.ErrUnsupported) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCanonicalArc(t *testing.T) {
+	g, err := datagen.Generate(datagen.Config{Persons: 200, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Undirected graph: exactly one canonical arc per pair.
+	count := 0
+	g.Arcs(func(u, v graph.VertexID) {
+		if CanonicalArc(g, u, v) {
+			count++
+		}
+	})
+	if int64(count) != g.NumEdges() {
+		t.Errorf("canonical arcs = %d, want %d (one per undirected edge)", count, g.NumEdges())
+	}
+}

@@ -1,0 +1,250 @@
+// Package dataflow implements the GraphX analogue: graph computations
+// expressed over immutable, partitioned datasets with a
+// Pregel-on-dataflow API built from aggregateMessages + joinVertices
+// (§3.2: "GraphX represents graphs as Spark resilient distributed
+// datasets (RDDs) ... supports iterative algorithms implemented
+// according to the Pregel programming model").
+//
+// Fidelity notes (why this platform lands where Figure 4 puts GraphX —
+// a few times slower than the BSP engine and the first to die on large
+// workloads):
+//
+//   - datasets are immutable: every iteration materializes a NEW vertex
+//     attribute array (joinVertices) instead of updating in place;
+//   - every aggregateMessages materializes a triplet view: the vertex
+//     attributes are mirrored to the edge partitions (arcs × attr-size
+//     bytes), exactly GraphX's vertex-replication cost;
+//   - lineage retention: the last RetainWindow vertex versions stay
+//     referenced ("cached RDDs awaiting unpersist"), multiplying the
+//     resident footprint;
+//   - an enforced memory budget turns that footprint into the observable
+//     OOM failures that appear as missing values in Figure 4.
+package dataflow
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"graphalytics/internal/graph"
+	"graphalytics/internal/platform"
+)
+
+// Env is the execution environment shared by one algorithm run.
+type Env struct {
+	G        *graph.Graph
+	Parts    int
+	Mem      *platform.MemoryTracker
+	Counters *platform.Counters
+	// RetainWindow is how many dataset versions lineage keeps alive.
+	RetainWindow int
+
+	retained []int64 // byte sizes of retained versions (FIFO)
+}
+
+// NewEnv returns an environment over g.
+func NewEnv(g *graph.Graph, parts int, mem *platform.MemoryTracker, counters *platform.Counters) *Env {
+	if parts <= 0 {
+		parts = runtime.GOMAXPROCS(0)
+	}
+	return &Env{G: g, Parts: parts, Mem: mem, Counters: counters, RetainWindow: 3}
+}
+
+// allocRetained accounts a new dataset version and evicts versions
+// falling out of the lineage window.
+func (e *Env) allocRetained(bytes int64) error {
+	if e.Mem == nil {
+		return nil
+	}
+	if err := e.Mem.Alloc(bytes); err != nil {
+		return err
+	}
+	e.retained = append(e.retained, bytes)
+	for len(e.retained) > e.RetainWindow {
+		e.Mem.Free(e.retained[0])
+		e.retained = e.retained[1:]
+	}
+	return nil
+}
+
+// releaseAll frees every retained version (end of run).
+func (e *Env) releaseAll() {
+	if e.Mem == nil {
+		e.retained = nil
+		return
+	}
+	for _, b := range e.retained {
+		e.Mem.Free(b)
+	}
+	e.retained = nil
+}
+
+// Ctx is the per-arc message context handed to send functions.
+type Ctx[M any] struct {
+	env     *Env
+	part    int
+	acc     map[graph.VertexID]M
+	merge   func(M, M) M
+	msgSize int64
+	sent    int64
+	sentB   int64
+	netB    int64
+	edges   int64
+}
+
+func (c *Ctx[M]) deliver(dst graph.VertexID, m M) {
+	if old, ok := c.acc[dst]; ok {
+		c.acc[dst] = c.merge(old, m)
+	} else {
+		c.acc[dst] = m
+	}
+	c.sent++
+	c.sentB += c.msgSize
+	// Messages leave the edge partition for the vertex partition; only
+	// collocated ones stay local (hash placement, like GraphX routing).
+	if int(uint64(dst)*0x9e3779b97f4a7c15>>32)%c.env.Parts != c.part {
+		c.netB += c.msgSize
+	}
+}
+
+// SendToSrc delivers a message to the arc's source vertex.
+func (c *Ctx[M]) SendToSrc(u graph.VertexID, m M) { c.deliver(u, m) }
+
+// SendToDst delivers a message to the arc's destination vertex.
+func (c *Ctx[M]) SendToDst(v graph.VertexID, m M) { c.deliver(v, m) }
+
+// SendFunc produces messages for one arc (u -> v).
+type SendFunc[VD, M any] func(c *Ctx[M], u, v graph.VertexID, du, dv VD)
+
+// AggregateMessages scans all arcs (triplet view) and returns the merged
+// message per vertex. verts is the current vertex attribute dataset;
+// vdSize and msgSize are the per-element sizes used for memory and
+// network accounting. merge must be commutative and associative (or the
+// caller must canonicalize afterwards, as the CD vote-list merge does).
+func AggregateMessages[VD, M any](env *Env, verts []VD, vdSize, msgSize int64, send SendFunc[VD, M], merge func(M, M) M) (map[graph.VertexID]M, error) {
+	n := env.G.NumVertices()
+	arcs := env.G.NumArcs()
+
+	// Triplet view: vertex attributes are mirrored into edge partitions.
+	// The mirrors live for the duration of the scan.
+	mirrorBytes := arcs * vdSize
+	if env.Mem != nil {
+		if err := env.Mem.Alloc(mirrorBytes); err != nil {
+			env.Mem.Free(mirrorBytes)
+			return nil, err
+		}
+	}
+	defer func() {
+		if env.Mem != nil {
+			env.Mem.Free(mirrorBytes)
+		}
+	}()
+
+	parts := env.Parts
+	ctxs := make([]*Ctx[M], parts)
+	var wg sync.WaitGroup
+	chunk := (n + parts - 1) / parts
+	start := time.Now()
+	_ = start
+	for p := 0; p < parts; p++ {
+		lo, hi := p*chunk, (p+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		ctxs[p] = &Ctx[M]{env: env, part: p, acc: make(map[graph.VertexID]M), merge: merge, msgSize: msgSize}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(p, lo, hi int) {
+			defer wg.Done()
+			t0 := time.Now()
+			c := ctxs[p]
+			for u := lo; u < hi; u++ {
+				for _, v := range env.G.OutNeighbors(graph.VertexID(u)) {
+					send(c, graph.VertexID(u), v, verts[u], verts[v])
+					c.edges++
+				}
+			}
+			busyAdd(env.Counters, p, parts, time.Since(t0))
+		}(p, lo, hi)
+	}
+	wg.Wait()
+
+	// Shuffle-merge partition accumulators (fixed order).
+	out := make(map[graph.VertexID]M)
+	var msgBytes int64
+	for _, c := range ctxs {
+		for v, m := range c.acc {
+			if old, ok := out[v]; ok {
+				out[v] = merge(old, m)
+			} else {
+				out[v] = m
+			}
+		}
+		env.Counters.Messages += c.sent
+		env.Counters.MessageBytes += c.sentB
+		env.Counters.NetworkBytes += c.netB
+		env.Counters.EdgesTraversed += c.edges
+		msgBytes += c.sentB
+	}
+	// Merged message dataset is retained until joined.
+	if env.Mem != nil {
+		if err := env.Mem.Alloc(int64(len(out)) * (msgSize + 8)); err != nil {
+			env.Mem.Free(int64(len(out)) * (msgSize + 8))
+			return nil, err
+		}
+		env.Mem.Free(int64(len(out)) * (msgSize + 8))
+	}
+	return out, nil
+}
+
+// JoinVertices materializes the next immutable vertex dataset: a full
+// copy of verts with f applied to vertices that received a message.
+func JoinVertices[VD, M any](env *Env, verts []VD, vdSize int64, msgs map[graph.VertexID]M, f func(v graph.VertexID, d VD, m M) VD) ([]VD, error) {
+	if err := env.allocRetained(int64(len(verts)) * vdSize); err != nil {
+		return nil, err
+	}
+	next := make([]VD, len(verts))
+	copy(next, verts)
+	for v, m := range msgs {
+		next[v] = f(v, verts[v], m)
+	}
+	return next, nil
+}
+
+// MapVertices materializes a fresh dataset with f applied everywhere.
+func MapVertices[VD any](env *Env, n int, vdSize int64, f func(v graph.VertexID) VD) ([]VD, error) {
+	if err := env.allocRetained(int64(n) * vdSize); err != nil {
+		return nil, err
+	}
+	out := make([]VD, n)
+	for v := 0; v < n; v++ {
+		out[v] = f(graph.VertexID(v))
+	}
+	return out, nil
+}
+
+// CanonicalArc reports whether (u, v) is the canonical arc of its
+// unordered pair: true when u < v or when the reciprocal arc does not
+// exist. Algorithms that must interact once per neighbor pair (CD
+// votes, STATS counts) send only along canonical arcs.
+func CanonicalArc(g *graph.Graph, u, v graph.VertexID) bool {
+	return u < v || !g.HasArc(v, u)
+}
+
+var busyMu sync.Mutex
+
+func busyAdd(c *platform.Counters, w, workers int, d time.Duration) {
+	if c == nil {
+		return
+	}
+	busyMu.Lock()
+	defer busyMu.Unlock()
+	if len(c.WorkerBusy) < workers {
+		grown := make([]time.Duration, workers)
+		copy(grown, c.WorkerBusy)
+		c.WorkerBusy = grown
+	}
+	c.WorkerBusy[w] += d
+}

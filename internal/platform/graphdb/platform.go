@@ -1,0 +1,298 @@
+package graphdb
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"graphalytics/internal/algo"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/platform"
+	"graphalytics/internal/xrand"
+)
+
+// Options configures the graph database platform.
+type Options struct {
+	// MemoryBudget bounds the record-store bytes; ETL fails beyond it
+	// (0 = unlimited).
+	MemoryBudget int64
+	// PageCachePages sets the page cache capacity in 8 KiB pages
+	// (default 8192 = 64 MiB).
+	PageCachePages int
+}
+
+// Platform is the Neo4j analogue.
+type Platform struct {
+	opts Options
+}
+
+// New returns a graph database platform.
+func New(opts Options) *Platform {
+	return &Platform{opts: opts}
+}
+
+// Name implements platform.Platform.
+func (p *Platform) Name() string { return "graphdb" }
+
+// LoadGraph implements platform.Platform: it builds the record stores.
+// Unlike the distributed platforms, the whole store must fit in one
+// machine's budget or the import fails.
+func (p *Platform) LoadGraph(g *graph.Graph) (platform.Loaded, error) {
+	mem := platform.NewMemoryTracker(p.Name(), p.opts.MemoryBudget)
+	store := BuildStore(g, p.opts.PageCachePages)
+	if err := mem.Alloc(store.Bytes()); err != nil {
+		return nil, err
+	}
+	return &loaded{p: p, g: g, store: store, mem: mem}, nil
+}
+
+type loaded struct {
+	p     *Platform
+	g     *graph.Graph
+	store *Store
+	mem   *platform.MemoryTracker
+}
+
+// Graph implements platform.Loaded.
+func (l *loaded) Graph() *graph.Graph { return l.g }
+
+// Close implements platform.Loaded.
+func (l *loaded) Close() error {
+	l.mem.Free(l.store.Bytes())
+	return nil
+}
+
+// Run implements platform.Loaded.
+func (l *loaded) Run(ctx context.Context, kind algo.Kind, params algo.Params) (*platform.Result, error) {
+	params = params.WithDefaults(l.g.NumVertices())
+	counters := &platform.Counters{}
+	h0, m0 := l.store.CacheStats()
+	start := time.Now()
+
+	var out any
+	var err error
+	switch kind {
+	case algo.BFS:
+		out, err = l.runBFS(ctx, params)
+	case algo.CONN:
+		out, err = l.runConn(ctx)
+	case algo.CD:
+		out, err = l.runCD(ctx, params)
+	case algo.STATS:
+		out, err = l.runStats(ctx)
+	case algo.EVO:
+		out, err = l.runEvo(ctx, params)
+	default:
+		return nil, fmt.Errorf("%w: %s on %s", platform.ErrUnsupported, kind, l.p.Name())
+	}
+	if err != nil {
+		return nil, err
+	}
+	h1, m1 := l.store.CacheStats()
+	counters.CacheHits = h1 - h0
+	counters.CacheMisses = m1 - m0
+	counters.EdgesTraversed = (h1 - h0) + (m1 - m0) // record touches
+	counters.Supersteps = 1                         // one transaction scope
+	counters.WorkerBusy = []time.Duration{time.Since(start)}
+	counters.PeakMemoryBytes = l.mem.Peak()
+	return &platform.Result{Output: out, Counters: *counters}, nil
+}
+
+// runBFS: classic queue traversal over the store (out-direction).
+func (l *loaded) runBFS(ctx context.Context, p algo.Params) (algo.BFSOutput, error) {
+	n := l.store.NumNodes()
+	depth := make(algo.BFSOutput, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	if int(p.Source) >= n {
+		return depth, nil
+	}
+	depth[p.Source] = 0
+	frontier := []graph.VertexID{p.Source}
+	for level := int64(1); len(frontier) > 0; level++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		var next []graph.VertexID
+		for _, v := range frontier {
+			l.store.Expand(v, func(other graph.VertexID, outgoing bool) {
+				if outgoing && depth[other] == -1 {
+					depth[other] = level
+					next = append(next, other)
+				}
+			})
+		}
+		frontier = next
+	}
+	return depth, nil
+}
+
+// runConn: ascending-scan traversal labeling. The first unvisited vertex
+// of each component is its minimum ID, so the labels equal the HashMin
+// fixpoint the other platforms compute.
+func (l *loaded) runConn(ctx context.Context) (algo.ConnOutput, error) {
+	n := l.store.NumNodes()
+	labels := make(algo.ConnOutput, n)
+	visited := make([]bool, n)
+	var stack []graph.VertexID
+	for v := 0; v < n; v++ {
+		if visited[v] {
+			continue
+		}
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		root := graph.VertexID(v)
+		visited[v] = true
+		labels[v] = root
+		stack = append(stack[:0], root)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			l.store.Expand(u, func(other graph.VertexID, _ bool) {
+				if !visited[other] {
+					visited[other] = true
+					labels[other] = root
+					stack = append(stack, other)
+				}
+			})
+		}
+	}
+	return labels, nil
+}
+
+// runCD: per-iteration gather of neighbor states through the store.
+func (l *loaded) runCD(ctx context.Context, p algo.Params) (algo.CDOutput, error) {
+	n := l.store.NumNodes()
+	labels := make([]int64, n)
+	scores := make([]float64, n)
+	degs := make([]int32, n)
+	var buf []graph.VertexID
+	for v := 0; v < n; v++ {
+		labels[v] = int64(v)
+		scores[v] = 1
+		buf = l.store.Neighborhood(graph.VertexID(v), buf[:0])
+		degs[v] = int32(len(buf))
+	}
+	newLabels := make([]int64, n)
+	newScores := make([]float64, n)
+	votes := make([]algo.Vote, 0, 64)
+	for iter := 0; iter < p.CDIterations; iter++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		for v := 0; v < n; v++ {
+			buf = l.store.Neighborhood(graph.VertexID(v), buf[:0])
+			votes = votes[:0]
+			for _, u := range buf {
+				votes = append(votes, algo.Vote{Label: labels[u], Score: scores[u], Degree: degs[u]})
+			}
+			win, maxScore, ok := algo.TallyVotes(votes, p.CDPreference)
+			if !ok {
+				newLabels[v] = labels[v]
+				newScores[v] = scores[v]
+				continue
+			}
+			s := maxScore
+			if win != labels[v] {
+				s -= p.CDDelta
+			}
+			if s < 0 {
+				s = 0
+			}
+			newLabels[v] = win
+			newScores[v] = s
+		}
+		labels, newLabels = newLabels, labels
+		scores, newScores = newScores, scores
+	}
+	return algo.CDOutput(labels), nil
+}
+
+// runStats: neighborhood intersections through the store.
+func (l *loaded) runStats(ctx context.Context) (algo.StatsOutput, error) {
+	n := l.store.NumNodes()
+	var sum float64
+	var nbh, out []graph.VertexID
+	for v := 0; v < n; v++ {
+		if v%4096 == 0 {
+			if err := platform.CheckContext(ctx); err != nil {
+				return algo.StatsOutput{}, err
+			}
+		}
+		nbh = l.store.Neighborhood(graph.VertexID(v), nbh[:0])
+		d := len(nbh)
+		if d < 2 {
+			continue
+		}
+		var links int64
+		for _, u := range nbh {
+			out = l.store.OutNeighbors(u, out[:0])
+			links += algo.CountClosedPairs(out, nbh, u)
+		}
+		sum += float64(links) / (float64(d) * float64(d-1))
+	}
+	return algo.StatsOutput{Vertices: n, Edges: l.g.NumEdges(), MeanLCC: sum / float64(n)}, nil
+}
+
+// runEvo: the reference fire spec executed with store-gathered adjacency.
+func (l *loaded) runEvo(ctx context.Context, p algo.Params) (algo.EvoOutput, error) {
+	n := l.store.NumNodes()
+	k := p.EvoNewVertices
+	out := algo.EvoOutput{NewVertices: k}
+
+	var outN, inN []graph.VertexID
+	for f := 0; f < k; f++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return algo.EvoOutput{}, err
+		}
+		newV := graph.VertexID(n + f)
+		a := graph.VertexID(xrand.Mix3(p.Seed, uint64(newV), 0) % uint64(n))
+		burned := map[graph.VertexID]bool{a: true}
+		level := []graph.VertexID{a}
+		for len(level) > 0 && len(burned) < p.EvoMaxBurn {
+			var next []graph.VertexID
+			inNext := map[graph.VertexID]bool{}
+			for _, u := range level {
+				outN = l.store.OutNeighbors(u, outN[:0])
+				if l.store.directed {
+					inN = l.store.InNeighbors(u, inN[:0])
+				} else {
+					inN = outN
+				}
+				for _, w := range algo.FirePicksFromLists(newV, u, outN, inN, p) {
+					if burned[w] || inNext[w] {
+						continue
+					}
+					inNext[w] = true
+					next = append(next, w)
+				}
+			}
+			sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+			if room := p.EvoMaxBurn - len(burned); len(next) > room {
+				next = next[:room]
+			}
+			for _, w := range next {
+				burned[w] = true
+			}
+			level = next
+		}
+		targets := make([]graph.VertexID, 0, len(burned))
+		for w := range burned {
+			targets = append(targets, w)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		for _, w := range targets {
+			out.Edges = append(out.Edges, [2]graph.VertexID{newV, w})
+		}
+	}
+	sort.Slice(out.Edges, func(i, j int) bool {
+		if out.Edges[i][0] != out.Edges[j][0] {
+			return out.Edges[i][0] < out.Edges[j][0]
+		}
+		return out.Edges[i][1] < out.Edges[j][1]
+	})
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package mapreduce
+
+import (
+	"encoding/binary"
+	"math"
+
+	"graphalytics/internal/graph"
+)
+
+// The record codec: length-prefixed (key, value) framing for spill
+// buffers, plus the primitive encoders the algorithm jobs use for their
+// record values. All integers are varints; vertex lists are
+// delta-encoded, which is both realistic (Hadoop graph formats
+// delta-compress adjacency) and cheap to decode.
+
+// appendRecord frames (key, value) onto buf.
+func appendRecord(buf []byte, key int64, value []byte) []byte {
+	buf = binary.AppendVarint(buf, key)
+	buf = binary.AppendUvarint(buf, uint64(len(value)))
+	return append(buf, value...)
+}
+
+// readRecord parses one framed record and returns the remaining buffer.
+func readRecord(buf []byte) (Record, []byte) {
+	key, n := binary.Varint(buf)
+	buf = buf[n:]
+	l, n := binary.Uvarint(buf)
+	buf = buf[n:]
+	value := buf[:l:l]
+	return Record{Key: key, Value: value}, buf[l:]
+}
+
+// appendUvarint / appendVarint / appendFloat primitives.
+
+func appendUvarint(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
+
+func appendVarint(buf []byte, v int64) []byte { return binary.AppendVarint(buf, v) }
+
+func appendFloat(buf []byte, f float64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(f))
+	return append(buf, tmp[:]...)
+}
+
+func readUvarint(buf []byte) (uint64, []byte) {
+	v, n := binary.Uvarint(buf)
+	return v, buf[n:]
+}
+
+func readVarint(buf []byte) (int64, []byte) {
+	v, n := binary.Varint(buf)
+	return v, buf[n:]
+}
+
+func readFloat(buf []byte) (float64, []byte) {
+	v := math.Float64frombits(binary.LittleEndian.Uint64(buf[:8]))
+	return v, buf[8:]
+}
+
+// appendVertexList delta-encodes a sorted vertex list.
+func appendVertexList(buf []byte, vs []graph.VertexID) []byte {
+	buf = appendUvarint(buf, uint64(len(vs)))
+	prev := uint64(0)
+	for _, v := range vs {
+		buf = appendUvarint(buf, uint64(v)-prev)
+		prev = uint64(v)
+	}
+	return buf
+}
+
+// readVertexList decodes a delta-encoded vertex list.
+func readVertexList(buf []byte) ([]graph.VertexID, []byte) {
+	n, buf := readUvarint(buf)
+	out := make([]graph.VertexID, n)
+	prev := uint64(0)
+	for i := range out {
+		var d uint64
+		d, buf = readUvarint(buf)
+		prev += d
+		out[i] = graph.VertexID(prev)
+	}
+	return out, buf
+}

@@ -1,0 +1,117 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemoryTrackerBudget(t *testing.T) {
+	tr := NewMemoryTracker("test", 100)
+	if err := tr.Alloc(60); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	err := tr.Alloc(50)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("over budget err = %v", err)
+	}
+	var oom *OOMError
+	if !errors.As(err, &oom) {
+		t.Fatal("error should be *OOMError")
+	}
+	if oom.Platform != "test" || oom.Need != 110 || oom.Budget != 100 {
+		t.Errorf("oom = %+v", oom)
+	}
+	if oom.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestMemoryTrackerPeakAndFree(t *testing.T) {
+	tr := NewMemoryTracker("test", 0) // unlimited
+	tr.Alloc(70)
+	tr.Alloc(30)
+	tr.Free(50)
+	if tr.Current() != 50 {
+		t.Errorf("current = %d", tr.Current())
+	}
+	if tr.Peak() != 100 {
+		t.Errorf("peak = %d", tr.Peak())
+	}
+	tr.Reset()
+	if tr.Current() != 0 || tr.Peak() != 100 {
+		t.Errorf("after reset: current %d peak %d", tr.Current(), tr.Peak())
+	}
+	if tr.Budget() != 0 {
+		t.Errorf("budget = %d", tr.Budget())
+	}
+}
+
+func TestMemoryTrackerConcurrent(t *testing.T) {
+	tr := NewMemoryTracker("test", 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				tr.Alloc(3)
+				tr.Free(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Current() != 0 {
+		t.Errorf("current = %d after balanced alloc/free", tr.Current())
+	}
+	if tr.Peak() < 3 {
+		t.Errorf("peak = %d", tr.Peak())
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	a := Counters{
+		Supersteps: 2, Messages: 10, MessageBytes: 100, NetworkBytes: 40,
+		SpilledBytes: 5, PeakMemoryBytes: 1000, EdgesTraversed: 7,
+		CacheHits: 3, CacheMisses: 1,
+		ActivePerStep: []int64{5, 3},
+		WorkerBusy:    []time.Duration{time.Second},
+	}
+	b := Counters{
+		Supersteps: 1, Messages: 5, MessageBytes: 50, NetworkBytes: 10,
+		SpilledBytes: 2, PeakMemoryBytes: 2000, EdgesTraversed: 3,
+		CacheHits: 1, CacheMisses: 2,
+		ActivePerStep: []int64{2},
+		WorkerBusy:    []time.Duration{time.Second, 2 * time.Second},
+	}
+	a.Merge(b)
+	if a.Supersteps != 3 || a.Messages != 15 || a.MessageBytes != 150 {
+		t.Errorf("sums wrong: %+v", a)
+	}
+	if a.PeakMemoryBytes != 2000 {
+		t.Errorf("peak should take max: %d", a.PeakMemoryBytes)
+	}
+	if len(a.ActivePerStep) != 3 {
+		t.Errorf("ActivePerStep = %v", a.ActivePerStep)
+	}
+	if len(a.WorkerBusy) != 2 || a.WorkerBusy[0] != 2*time.Second || a.WorkerBusy[1] != 2*time.Second {
+		t.Errorf("WorkerBusy = %v", a.WorkerBusy)
+	}
+	if a.CacheHits != 4 || a.CacheMisses != 3 {
+		t.Errorf("cache counters: %+v", a)
+	}
+}
+
+func TestCheckContext(t *testing.T) {
+	if err := CheckContext(context.Background()); err != nil {
+		t.Errorf("live context: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := CheckContext(ctx)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled context err = %v", err)
+	}
+}

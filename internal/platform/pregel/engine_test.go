@@ -1,0 +1,185 @@
+package pregel
+
+import (
+	"context"
+	"testing"
+
+	"graphalytics/internal/graph"
+	"graphalytics/internal/platform"
+)
+
+func lineGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(graph.Directed(false))
+	for i := 0; i < n-1; i++ {
+		b.AddEdgeID(graph.VertexID(i), graph.VertexID(i+1))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEngineAggregatorSumsAcrossWorkers(t *testing.T) {
+	g := lineGraph(t, 100)
+	e := &Engine[struct{}]{
+		G:       g,
+		Workers: 4,
+		AggMerge: map[string]func(a, b any) any{
+			"sum": func(a, b any) any { return a.(int) + b.(int) },
+		},
+	}
+	var got int
+	compute := func(c *VCtx[struct{}], v graph.VertexID, msgs []struct{}) {
+		c.Aggregate("sum", 1)
+		c.VoteToHalt(v)
+	}
+	master := func(step int, agg map[string]any) (map[string]any, bool) {
+		got, _ = agg["sum"].(int)
+		return nil, true
+	}
+	if err := e.Run(context.Background(), compute, master); err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		t.Errorf("aggregated sum = %d, want 100", got)
+	}
+}
+
+func TestEngineMasterPublishesToNextSuperstep(t *testing.T) {
+	g := lineGraph(t, 10)
+	e := &Engine[int]{G: g, Workers: 2, MsgBytes: func(int) int64 { return 8 }}
+	sawPublished := false
+	compute := func(c *VCtx[int], v graph.VertexID, msgs []int) {
+		if c.Superstep() == 1 {
+			if val, ok := c.AggValue("broadcast").(string); ok && val == "hello" {
+				sawPublished = true
+			}
+			c.VoteToHalt(v)
+			return
+		}
+		if c.Superstep() == 0 && v == 0 {
+			// Keep one vertex active into superstep 1 via a self message.
+			c.Send(0, 1)
+		}
+		c.VoteToHalt(v)
+	}
+	master := func(step int, agg map[string]any) (map[string]any, bool) {
+		if step == 0 {
+			return map[string]any{"broadcast": "hello"}, false
+		}
+		return nil, true
+	}
+	if err := e.Run(context.Background(), compute, master); err != nil {
+		t.Fatal(err)
+	}
+	if !sawPublished {
+		t.Error("master-published value never reached a vertex")
+	}
+}
+
+func TestEngineHaltAndWake(t *testing.T) {
+	g := lineGraph(t, 5)
+	e := &Engine[int]{G: g, Workers: 1, MsgBytes: func(int) int64 { return 8 }}
+	computeCalls := make(map[graph.VertexID]int)
+	compute := func(c *VCtx[int], v graph.VertexID, msgs []int) {
+		computeCalls[v]++
+		if c.Superstep() == 0 && v == 0 {
+			c.Send(1, 42) // wake vertex 1 only
+		}
+		c.VoteToHalt(v)
+	}
+	if err := e.Run(context.Background(), compute, nil); err != nil {
+		t.Fatal(err)
+	}
+	if computeCalls[1] != 2 {
+		t.Errorf("vertex 1 computed %d times, want 2 (superstep 0 + wake)", computeCalls[1])
+	}
+	for _, v := range []graph.VertexID{2, 3, 4} {
+		if computeCalls[v] != 1 {
+			t.Errorf("vertex %d computed %d times, want 1", v, computeCalls[v])
+		}
+	}
+}
+
+func TestEngineMaxSuperstepsBound(t *testing.T) {
+	g := lineGraph(t, 4)
+	e := &Engine[int]{G: g, Workers: 1, MaxSupersteps: 3, MsgBytes: func(int) int64 { return 8 }}
+	counters := &platform.Counters{}
+	e.Counters = counters
+	// A ping-pong program that never halts.
+	compute := func(c *VCtx[int], v graph.VertexID, msgs []int) {
+		c.Send(v, 1)
+	}
+	if err := e.Run(context.Background(), compute, nil); err != nil {
+		t.Fatal(err)
+	}
+	if counters.Supersteps != 3 {
+		t.Errorf("supersteps = %d, want MaxSupersteps bound 3", counters.Supersteps)
+	}
+}
+
+func TestEngineCombinerDeliversSingleMessage(t *testing.T) {
+	g := lineGraph(t, 3)
+	e := &Engine[int]{
+		G: g, Workers: 2,
+		MsgBytes: func(int) int64 { return 8 },
+		Combiner: func(a, b int) int { return a + b },
+	}
+	var delivered []int
+	compute := func(c *VCtx[int], v graph.VertexID, msgs []int) {
+		if c.Superstep() == 0 {
+			// Everybody sends 1 to vertex 0 three times.
+			for i := 0; i < 3; i++ {
+				c.Send(0, 1)
+			}
+			c.VoteToHalt(v)
+			return
+		}
+		if v == 0 {
+			delivered = append(delivered, msgs...)
+		}
+		c.VoteToHalt(v)
+	}
+	if err := e.Run(context.Background(), compute, nil); err != nil {
+		t.Fatal(err)
+	}
+	// 3 senders × 3 messages, combined per (sender-worker, dest): with 2
+	// workers vertex 0 receives at most 2 messages whose sum is 9.
+	if len(delivered) > 2 {
+		t.Errorf("delivered %d messages, combiner should collapse them", len(delivered))
+	}
+	sum := 0
+	for _, m := range delivered {
+		sum += m
+	}
+	if sum != 9 {
+		t.Errorf("combined sum = %d, want 9", sum)
+	}
+}
+
+func TestEngineNetworkAccounting(t *testing.T) {
+	g := lineGraph(t, 64)
+	e := &Engine[int]{G: g, Workers: 4, MsgBytes: func(int) int64 { return 8 }}
+	counters := &platform.Counters{}
+	e.Counters = counters
+	compute := func(c *VCtx[int], v graph.VertexID, msgs []int) {
+		if c.Superstep() == 0 {
+			c.SendToOutNeighbors(v, 1)
+		}
+		c.VoteToHalt(v)
+	}
+	if err := e.Run(context.Background(), compute, nil); err != nil {
+		t.Fatal(err)
+	}
+	if counters.Messages == 0 || counters.MessageBytes != counters.Messages*8 {
+		t.Errorf("message accounting: %+v", counters)
+	}
+	if counters.NetworkBytes == 0 || counters.NetworkBytes > counters.MessageBytes {
+		t.Errorf("network bytes %d out of range (total %d)", counters.NetworkBytes, counters.MessageBytes)
+	}
+	if counters.EdgesTraversed == 0 {
+		t.Error("edges traversed not counted")
+	}
+}

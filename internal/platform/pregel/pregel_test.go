@@ -1,0 +1,203 @@
+package pregel
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"graphalytics/internal/algo"
+	"graphalytics/internal/gen/datagen"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/platform"
+	"graphalytics/internal/platform/platformtest"
+)
+
+func TestConformance(t *testing.T) {
+	platformtest.Conformance(t, New(Options{}))
+}
+
+func TestConformanceSingleWorker(t *testing.T) {
+	platformtest.Conformance(t, New(Options{Workers: 1}))
+}
+
+func TestConformanceNoCombiners(t *testing.T) {
+	platformtest.Conformance(t, New(Options{DisableCombiners: true}))
+}
+
+func TestCountersPopulated(t *testing.T) {
+	platformtest.CountersPopulated(t, New(Options{}))
+}
+
+func TestName(t *testing.T) {
+	if New(Options{}).Name() != "pregel" {
+		t.Error("name")
+	}
+}
+
+func TestMemoryBudgetLoadFailure(t *testing.T) {
+	g, err := datagen.Generate(datagen.Config{Persons: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Options{MemoryBudget: 100}) // absurdly small
+	if _, err := p.LoadGraph(g); !errors.Is(err, platform.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestMemoryBudgetRunFailure(t *testing.T) {
+	g, err := datagen.Generate(datagen.Config{Persons: 3000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget fits the graph but not STATS's neighborhood messages.
+	budget := g.MemoryFootprint() + 200_000
+	p := New(Options{MemoryBudget: budget})
+	loaded, err := p.LoadGraph(g)
+	if err != nil {
+		t.Fatalf("load should fit: %v", err)
+	}
+	defer loaded.Close()
+	_, err = loaded.Run(context.Background(), algo.STATS, algo.Params{})
+	if !errors.Is(err, platform.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory for STATS under tight budget", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	g, err := datagen.Generate(datagen.Config{Persons: 3000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Options{})
+	loaded, err := p.LoadGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := loaded.Run(ctx, algo.CD, algo.Params{}); err == nil {
+		t.Fatal("cancelled context should abort the run")
+	}
+}
+
+func TestCombinerReducesMessages(t *testing.T) {
+	g, err := datagen.Generate(datagen.Config{Persons: 2000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(disable bool) platform.Counters {
+		p := New(Options{DisableCombiners: disable, Workers: 4})
+		loaded, err := p.LoadGraph(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer loaded.Close()
+		res, err := loaded.Run(context.Background(), algo.CONN, algo.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counters
+	}
+	with := run(false)
+	without := run(true)
+	if with.Messages >= without.Messages {
+		t.Errorf("combiner should reduce messages: with=%d without=%d", with.Messages, without.Messages)
+	}
+}
+
+func TestActiveVertexDecay(t *testing.T) {
+	// The "skewed execution intensity" choke point: per-superstep active
+	// counts must be recorded and BFS activity must decay to zero.
+	g, err := datagen.Generate(datagen.Config{Persons: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Options{})
+	loaded, err := p.LoadGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	res, err := loaded.Run(context.Background(), algo.BFS, algo.Params{Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := res.Counters.ActivePerStep
+	if len(steps) < 3 {
+		t.Fatalf("expected several supersteps, got %v", steps)
+	}
+	if steps[len(steps)-1] != 0 {
+		t.Errorf("final superstep should have zero active vertices: %v", steps)
+	}
+}
+
+func TestPartitionerOptionAffectsNetwork(t *testing.T) {
+	// Range partitioning on a BFS-ordered social graph keeps more
+	// messages local than hash partitioning (the partitioning ablation).
+	g, err := datagen.Generate(datagen.Config{Persons: 3000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered := graph.Remap(g, graph.BFSOrder(g, 0))
+	run := func(part graph.Partitioner) int64 {
+		p := New(Options{Workers: 8, Partitioner: part})
+		loaded, err := p.LoadGraph(ordered)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer loaded.Close()
+		res, err := loaded.Run(context.Background(), algo.CONN, algo.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counters.NetworkBytes
+	}
+	hash := run(graph.NewHashPartitioner(8))
+	greedy := run(graph.NewGreedyPartitioner(ordered, 8))
+	if greedy >= hash {
+		t.Errorf("greedy partitioning should cut network bytes: hash=%d greedy=%d", hash, greedy)
+	}
+}
+
+func TestWorkerBusyRecorded(t *testing.T) {
+	g, err := datagen.Generate(datagen.Config{Persons: 1000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Options{Workers: 4})
+	loaded, err := p.LoadGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	res, err := loaded.Run(context.Background(), algo.CD, algo.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Counters.WorkerBusy) != 4 {
+		t.Fatalf("WorkerBusy len = %d, want 4", len(res.Counters.WorkerBusy))
+	}
+	var total time.Duration
+	for _, d := range res.Counters.WorkerBusy {
+		total += d
+	}
+	if total == 0 {
+		t.Error("worker busy time not recorded")
+	}
+}
+
+func TestUnsupportedKind(t *testing.T) {
+	g, _ := datagen.Generate(datagen.Config{Persons: 100, Seed: 8})
+	p := New(Options{})
+	loaded, err := p.LoadGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if _, err := loaded.Run(context.Background(), algo.Kind("PAGERANK"), algo.Params{}); !errors.Is(err, platform.ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+}

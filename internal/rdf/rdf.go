@@ -1,0 +1,336 @@
+// Package rdf implements the RDF-database support the paper announces
+// (§1: "we plan to support databases for RDF semantic web data and are
+// working on implementing support for OpenLink Virtuoso, a popular RDF
+// database"): a dictionary-encoded triple store with SPO/POS/OSP
+// indexes, basic-graph-pattern (SPARQL BGP) matching, and the
+// transitive property path that expresses the §3.4 reachability query
+// in RDF terms:
+//
+//	SELECT (COUNT(DISTINCT ?x) AS ?c) WHERE { person:420 knows+ ?x }
+//
+// Graph workloads map onto the store via FromGraph, which encodes the
+// person-knows-person graph as <person:i> knows <person:j> triples.
+package rdf
+
+import (
+	"fmt"
+	"sort"
+
+	"graphalytics/internal/graph"
+)
+
+// TermID is a dictionary-encoded RDF term.
+type TermID uint32
+
+// Triple is one (subject, predicate, object) statement.
+type Triple struct {
+	S, P, O TermID
+}
+
+// Store is an immutable triple store with three access paths.
+type Store struct {
+	dict  map[string]TermID
+	terms []string
+
+	spo []Triple // sorted by (S, P, O)
+	pos []Triple // sorted by (P, O, S)
+	pso []Triple // sorted by (P, S, O)
+}
+
+// NewStore returns an empty store builder-style value; add triples with
+// Add and call Freeze before querying.
+func NewStore() *Store {
+	return &Store{dict: map[string]TermID{}}
+}
+
+// Term interns a term string and returns its ID.
+func (s *Store) Term(t string) TermID {
+	if id, ok := s.dict[t]; ok {
+		return id
+	}
+	id := TermID(len(s.terms))
+	s.dict[t] = id
+	s.terms = append(s.terms, t)
+	return id
+}
+
+// Lookup returns the ID of t if it is known.
+func (s *Store) Lookup(t string) (TermID, bool) {
+	id, ok := s.dict[t]
+	return id, ok
+}
+
+// TermString returns the string of a term ID.
+func (s *Store) TermString(id TermID) string { return s.terms[id] }
+
+// Add appends a triple (strings are interned).
+func (s *Store) Add(subject, predicate, object string) {
+	s.spo = append(s.spo, Triple{S: s.Term(subject), P: s.Term(predicate), O: s.Term(object)})
+}
+
+// AddTriple appends an already-encoded triple.
+func (s *Store) AddTriple(t Triple) { s.spo = append(s.spo, t) }
+
+// NumTriples returns the statement count (after Freeze, deduplicated).
+func (s *Store) NumTriples() int { return len(s.spo) }
+
+// Freeze sorts and deduplicates the indexes; queries require it.
+func (s *Store) Freeze() {
+	sortTriples(s.spo, cmpSPO)
+	s.spo = dedup(s.spo)
+	s.pos = append([]Triple(nil), s.spo...)
+	sortTriples(s.pos, cmpPOS)
+	s.pso = append([]Triple(nil), s.spo...)
+	sortTriples(s.pso, cmpPSO)
+}
+
+func sortTriples(ts []Triple, less func(a, b Triple) bool) {
+	sort.Slice(ts, func(i, j int) bool { return less(ts[i], ts[j]) })
+}
+
+func cmpSPO(a, b Triple) bool {
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	return a.O < b.O
+}
+
+func cmpPOS(a, b Triple) bool {
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	if a.O != b.O {
+		return a.O < b.O
+	}
+	return a.S < b.S
+}
+
+func cmpPSO(a, b Triple) bool {
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	return a.O < b.O
+}
+
+func dedup(ts []Triple) []Triple {
+	out := ts[:0]
+	for i, t := range ts {
+		if i == 0 || t != ts[i-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// FromGraph encodes g as RDF: one `knows` triple per arc, plus an
+// rdf:type triple per vertex. Vertex v becomes IRI "person:<label>".
+func FromGraph(g *graph.Graph) *Store {
+	s := NewStore()
+	knows := s.Term("knows")
+	person := s.Term("Person")
+	typ := s.Term("rdf:type")
+	ids := make([]TermID, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		ids[v] = s.Term(fmt.Sprintf("person:%d", g.Label(graph.VertexID(v))))
+		s.AddTriple(Triple{S: ids[v], P: typ, O: person})
+	}
+	g.Arcs(func(u, v graph.VertexID) {
+		s.AddTriple(Triple{S: ids[u], P: knows, O: ids[v]})
+	})
+	s.Freeze()
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Pattern matching.
+
+// Wildcard marks an unbound position in a triple pattern.
+const Wildcard = TermID(^uint32(0))
+
+// Pattern is a triple pattern: fixed TermIDs or Wildcard per position.
+type Pattern struct {
+	S, P, O TermID
+}
+
+// Match streams all triples matching p to fn (return false to stop).
+// The best index for the bound positions is chosen automatically.
+func (s *Store) Match(p Pattern, fn func(Triple) bool) {
+	switch {
+	case p.S != Wildcard:
+		// SPO index: range scan on S (and P if bound).
+		lo := sort.Search(len(s.spo), func(i int) bool {
+			t := s.spo[i]
+			if t.S != p.S {
+				return t.S >= p.S
+			}
+			if p.P == Wildcard {
+				return true
+			}
+			return t.P >= p.P
+		})
+		for i := lo; i < len(s.spo); i++ {
+			t := s.spo[i]
+			if t.S != p.S || (p.P != Wildcard && t.P != p.P) {
+				break
+			}
+			if p.O != Wildcard && t.O != p.O {
+				continue
+			}
+			if !fn(t) {
+				return
+			}
+		}
+	case p.P != Wildcard && p.O != Wildcard:
+		// POS index: range scan on (P, O).
+		lo := sort.Search(len(s.pos), func(i int) bool {
+			t := s.pos[i]
+			if t.P != p.P {
+				return t.P >= p.P
+			}
+			return t.O >= p.O
+		})
+		for i := lo; i < len(s.pos); i++ {
+			t := s.pos[i]
+			if t.P != p.P || t.O != p.O {
+				break
+			}
+			if !fn(t) {
+				return
+			}
+		}
+	case p.P != Wildcard:
+		// PSO index: range scan on P.
+		lo := sort.Search(len(s.pso), func(i int) bool { return s.pso[i].P >= p.P })
+		for i := lo; i < len(s.pso); i++ {
+			t := s.pso[i]
+			if t.P != p.P {
+				break
+			}
+			if !fn(t) {
+				return
+			}
+		}
+	default:
+		for _, t := range s.spo {
+			if p.O != Wildcard && t.O != p.O {
+				continue
+			}
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// Var names a query variable ("?x").
+type Var string
+
+// Atom is one position of a BGP pattern: either a bound term or a
+// variable.
+type Atom struct {
+	Term  TermID
+	Var   Var
+	IsVar bool
+}
+
+// Bound returns a constant atom.
+func Bound(t TermID) Atom { return Atom{Term: t} }
+
+// V returns a variable atom.
+func V(name Var) Atom { return Atom{Var: name, IsVar: true} }
+
+// BGPPattern is one pattern of a basic graph pattern.
+type BGPPattern struct {
+	S, P, O Atom
+}
+
+// Binding maps variables to terms.
+type Binding map[Var]TermID
+
+// Query evaluates a basic graph pattern (conjunction of patterns) by
+// index-backed nested-loop joins and returns all solution bindings.
+func (s *Store) Query(patterns []BGPPattern) []Binding {
+	solutions := []Binding{{}}
+	for _, pat := range patterns {
+		var next []Binding
+		for _, b := range solutions {
+			concrete := Pattern{
+				S: resolveAtom(pat.S, b),
+				P: resolveAtom(pat.P, b),
+				O: resolveAtom(pat.O, b),
+			}
+			s.Match(concrete, func(t Triple) bool {
+				nb := extend(b, pat, t)
+				if nb != nil {
+					next = append(next, nb)
+				}
+				return true
+			})
+		}
+		solutions = next
+		if len(solutions) == 0 {
+			break
+		}
+	}
+	return solutions
+}
+
+func resolveAtom(a Atom, b Binding) TermID {
+	if !a.IsVar {
+		return a.Term
+	}
+	if t, ok := b[a.Var]; ok {
+		return t
+	}
+	return Wildcard
+}
+
+// extend merges t into b under pattern pat, or returns nil on conflict.
+func extend(b Binding, pat BGPPattern, t Triple) Binding {
+	nb := make(Binding, len(b)+3)
+	for k, v := range b {
+		nb[k] = v
+	}
+	assign := func(a Atom, term TermID) bool {
+		if !a.IsVar {
+			return a.Term == term
+		}
+		if old, ok := nb[a.Var]; ok {
+			return old == term
+		}
+		nb[a.Var] = term
+		return true
+	}
+	if !assign(pat.S, t.S) || !assign(pat.P, t.P) || !assign(pat.O, t.O) {
+		return nil
+	}
+	return nb
+}
+
+// TransitiveCount evaluates the property path `start pred+ ?x` and
+// returns the number of distinct reachable objects — the SPARQL form of
+// the §3.4 transitive query. BFS over the SPO index.
+func (s *Store) TransitiveCount(start, pred TermID) int64 {
+	visited := map[TermID]bool{}
+	frontier := []TermID{start}
+	for len(frontier) > 0 {
+		var next []TermID
+		for _, cur := range frontier {
+			s.Match(Pattern{S: cur, P: pred, O: Wildcard}, func(t Triple) bool {
+				if !visited[t.O] {
+					visited[t.O] = true
+					next = append(next, t.O)
+				}
+				return true
+			})
+		}
+		frontier = next
+	}
+	return int64(len(visited))
+}

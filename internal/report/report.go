@@ -1,0 +1,227 @@
+// Package report implements the Report Generator of the Graphalytics
+// architecture (Figure 2): it "produces the main outcome of
+// Graphalytics, a detailed report on the performance of the SUT during
+// the benchmark, which includes all relevant configuration information",
+// with "consistent reporting that facilitates comparisons between all
+// possible combinations of platforms, datasets, and algorithms" (§2).
+//
+// The text renderers reproduce the shapes of the paper's evaluation:
+// Figure 4 (runtime matrix: algorithms × platforms per graph, missing
+// values marked) and Figure 5 (kTEPS for CONN).
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"graphalytics/internal/algo"
+	"graphalytics/internal/monitor"
+	"graphalytics/internal/platform"
+	"graphalytics/internal/validation"
+)
+
+// Status classifies one benchmark run.
+type Status string
+
+// Run statuses. Failed runs appear as "missing values" in the matrix,
+// exactly like Figure 4's gaps.
+const (
+	StatusSuccess   Status = "success"
+	StatusOOM       Status = "oom"
+	StatusTimeout   Status = "timeout"
+	StatusError     Status = "error"
+	StatusInvalid   Status = "invalid"
+	StatusLoadError Status = "load-failed"
+)
+
+// RunResult is the outcome of one (platform, graph, algorithm) cell.
+type RunResult struct {
+	Platform  string        `json:"platform"`
+	Graph     string        `json:"graph"`
+	Algorithm algo.Kind     `json:"algorithm"`
+	Status    Status        `json:"status"`
+	Runtime   time.Duration `json:"runtime_ns"`
+	LoadTime  time.Duration `json:"load_time_ns"`
+	// KTEPS is |E| / runtime / 1000 — the Figure 5 metric ("the size of
+	// the processed graph is included in this metric").
+	KTEPS      float64           `json:"kteps"`
+	GraphEdges int64             `json:"graph_edges"`
+	Counters   platform.Counters `json:"counters"`
+	Monitor    monitor.Report    `json:"-"`
+	Validation validation.Result `json:"validation"`
+	Err        string            `json:"error,omitempty"`
+	Config     map[string]string `json:"config,omitempty"`
+}
+
+// Report is a full benchmark report.
+type Report struct {
+	Started  time.Time   `json:"started"`
+	Finished time.Time   `json:"finished"`
+	Results  []RunResult `json:"results"`
+}
+
+// Cell renders one matrix cell: the runtime in seconds, or the failure
+// marker (Figure 4: "Missing values indicate failures").
+func (r RunResult) Cell() string {
+	if r.Status == StatusSuccess {
+		return formatSeconds(r.Runtime)
+	}
+	return "—(" + string(r.Status) + ")"
+}
+
+func formatSeconds(d time.Duration) string {
+	s := d.Seconds()
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f s", s)
+	case s >= 1:
+		return fmt.Sprintf("%.1f s", s)
+	default:
+		return fmt.Sprintf("%.3f s", s)
+	}
+}
+
+// graphsOf returns the distinct graph names in first-seen order.
+func graphsOf(results []RunResult) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range results {
+		if !seen[r.Graph] {
+			seen[r.Graph] = true
+			out = append(out, r.Graph)
+		}
+	}
+	return out
+}
+
+func platformsOf(results []RunResult) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range results {
+		if !seen[r.Platform] {
+			seen[r.Platform] = true
+			out = append(out, r.Platform)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Figure4Table renders the runtime matrix in the shape of Figure 4:
+// one block per graph, rows = algorithms, columns = platforms.
+func Figure4Table(results []RunResult) string {
+	var b strings.Builder
+	platforms := platformsOf(results)
+	cell := map[string]RunResult{}
+	for _, r := range results {
+		cell[r.Graph+"|"+string(r.Algorithm)+"|"+r.Platform] = r
+	}
+	for _, g := range graphsOf(results) {
+		fmt.Fprintf(&b, "=== %s ===\n", g)
+		fmt.Fprintf(&b, "%-8s", "")
+		for _, p := range platforms {
+			fmt.Fprintf(&b, "%16s", p)
+		}
+		b.WriteString("\n")
+		for _, a := range algo.Kinds {
+			row := false
+			for _, p := range platforms {
+				if _, okC := cell[g+"|"+string(a)+"|"+p]; okC {
+					row = true
+				}
+			}
+			if !row {
+				continue
+			}
+			fmt.Fprintf(&b, "%-8s", a)
+			for _, p := range platforms {
+				if r, okC := cell[g+"|"+string(a)+"|"+p]; okC {
+					fmt.Fprintf(&b, "%16s", r.Cell())
+				} else {
+					fmt.Fprintf(&b, "%16s", "")
+				}
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Figure5Table renders the CONN kTEPS matrix in the shape of Figure 5.
+func Figure5Table(results []RunResult) string {
+	var b strings.Builder
+	platforms := platformsOf(results)
+	cell := map[string]RunResult{}
+	for _, r := range results {
+		if r.Algorithm == algo.CONN {
+			cell[r.Graph+"|"+r.Platform] = r
+		}
+	}
+	fmt.Fprintf(&b, "CONN kTEPS (|E| / runtime / 1000)\n")
+	fmt.Fprintf(&b, "%-16s", "graph")
+	for _, p := range platforms {
+		fmt.Fprintf(&b, "%16s", p)
+	}
+	b.WriteString("\n")
+	for _, g := range graphsOf(results) {
+		fmt.Fprintf(&b, "%-16s", g)
+		for _, p := range platforms {
+			r, okC := cell[g+"|"+p]
+			switch {
+			case !okC:
+				fmt.Fprintf(&b, "%16s", "")
+			case r.Status != StatusSuccess:
+				fmt.Fprintf(&b, "%16s", "—("+string(r.Status)+")")
+			default:
+				fmt.Fprintf(&b, "%16.0f", r.KTEPS)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// WriteCSV writes all results as CSV.
+func WriteCSV(w io.Writer, results []RunResult) error {
+	if _, err := fmt.Fprintln(w, "platform,graph,algorithm,status,runtime_ms,load_ms,kteps,edges,messages,network_bytes,supersteps,peak_memory,valid"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%.3f,%.3f,%.1f,%d,%d,%d,%d,%d,%v\n",
+			r.Platform, r.Graph, r.Algorithm, r.Status,
+			float64(r.Runtime)/1e6, float64(r.LoadTime)/1e6, r.KTEPS, r.GraphEdges,
+			r.Counters.Messages, r.Counters.NetworkBytes, r.Counters.Supersteps,
+			r.Counters.PeakMemoryBytes, r.Validation.Valid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the full report as indented JSON.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Summary returns a one-paragraph textual summary (counts per status).
+func (rep *Report) Summary() string {
+	counts := map[Status]int{}
+	for _, r := range rep.Results {
+		counts[r.Status]++
+	}
+	parts := make([]string, 0, len(counts))
+	for _, s := range []Status{StatusSuccess, StatusOOM, StatusTimeout, StatusError, StatusInvalid, StatusLoadError} {
+		if counts[s] > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", counts[s], s))
+		}
+	}
+	return fmt.Sprintf("%d runs (%s) in %s",
+		len(rep.Results), strings.Join(parts, ", "), rep.Finished.Sub(rep.Started).Round(time.Millisecond))
+}

@@ -1,0 +1,272 @@
+// Package stats implements the discrete distribution models the paper
+// fits to real degree distributions (§2.2): Zeta (discrete power law),
+// Geometric, Weibull, and Poisson — with maximum-likelihood estimation,
+// goodness-of-fit statistics (log-likelihood, Kolmogorov-Smirnov
+// distance), and model selection. It also provides the numeric special
+// functions the models need (Riemann/Hurwitz zeta, log-gamma), built on
+// the standard library only.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model is a discrete probability distribution over positive integers
+// (degree values; support starts at 1 unless stated otherwise).
+type Model interface {
+	// Name identifies the model family ("zeta", "geometric", ...).
+	Name() string
+	// PMF returns P(X = k) for k >= 1.
+	PMF(k int) float64
+	// CDF returns P(X <= k).
+	CDF(k int) float64
+	// Mean returns the distribution mean (may be +Inf for heavy tails).
+	Mean() float64
+	// Params returns a human-readable parameter description.
+	Params() string
+}
+
+// ---------------------------------------------------------------------
+// Zeta (discrete power law): P(k) ∝ k^-s, k >= 1. The paper generates
+// graphs with Zeta(s=1.7) in Figure 1.
+
+// Zeta is the zeta (Zipf over all positive integers) distribution with
+// exponent S > 1.
+type Zeta struct {
+	S    float64
+	norm float64 // ζ(S)
+}
+
+// NewZeta returns a Zeta model with exponent s (> 1).
+func NewZeta(s float64) *Zeta {
+	return &Zeta{S: s, norm: RiemannZeta(s)}
+}
+
+// Name implements Model.
+func (z *Zeta) Name() string { return "zeta" }
+
+// Params implements Model.
+func (z *Zeta) Params() string { return fmt.Sprintf("s=%.4f", z.S) }
+
+// PMF implements Model.
+func (z *Zeta) PMF(k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	return math.Pow(float64(k), -z.S) / z.norm
+}
+
+// CDF implements Model.
+func (z *Zeta) CDF(k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	// Partial sum up to k; cheap because CDF is evaluated at data points.
+	var s float64
+	for i := 1; i <= k; i++ {
+		s += math.Pow(float64(i), -z.S)
+	}
+	return s / z.norm
+}
+
+// Mean implements Model. Mean is ζ(s-1)/ζ(s), infinite for s <= 2.
+func (z *Zeta) Mean() float64 {
+	if z.S <= 2 {
+		return math.Inf(1)
+	}
+	return RiemannZeta(z.S-1) / z.norm
+}
+
+// ---------------------------------------------------------------------
+// Geometric on {1, 2, ...}: P(k) = (1-p)^(k-1) p. Figure 1 uses p=0.12.
+
+// Geometric is the geometric distribution with success probability P,
+// supported on k >= 1.
+type Geometric struct {
+	P float64
+}
+
+// NewGeometric returns a Geometric model with parameter p in (0, 1].
+func NewGeometric(p float64) *Geometric { return &Geometric{P: p} }
+
+// Name implements Model.
+func (g *Geometric) Name() string { return "geometric" }
+
+// Params implements Model.
+func (g *Geometric) Params() string { return fmt.Sprintf("p=%.4f", g.P) }
+
+// PMF implements Model.
+func (g *Geometric) PMF(k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	return math.Pow(1-g.P, float64(k-1)) * g.P
+}
+
+// CDF implements Model.
+func (g *Geometric) CDF(k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	return 1 - math.Pow(1-g.P, float64(k))
+}
+
+// Mean implements Model.
+func (g *Geometric) Mean() float64 { return 1 / g.P }
+
+// ---------------------------------------------------------------------
+// Poisson shifted to {1, 2, ...}: degree = 1 + Poisson(λ). Degree data
+// has no zeros, so the fit uses the shifted form.
+
+// Poisson is a shifted Poisson model: X = 1 + Pois(Lambda).
+type Poisson struct {
+	Lambda float64
+}
+
+// NewPoisson returns a shifted Poisson model with rate lambda >= 0.
+func NewPoisson(lambda float64) *Poisson { return &Poisson{Lambda: lambda} }
+
+// Name implements Model.
+func (p *Poisson) Name() string { return "poisson" }
+
+// Params implements Model.
+func (p *Poisson) Params() string { return fmt.Sprintf("lambda=%.4f", p.Lambda) }
+
+// PMF implements Model.
+func (p *Poisson) PMF(k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	x := float64(k - 1)
+	return math.Exp(x*math.Log(p.Lambda) - p.Lambda - LogGamma(x+1))
+}
+
+// CDF implements Model.
+func (p *Poisson) CDF(k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	var s float64
+	for i := 1; i <= k; i++ {
+		s += p.PMF(i)
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// Mean implements Model.
+func (p *Poisson) Mean() float64 { return 1 + p.Lambda }
+
+// ---------------------------------------------------------------------
+// Discrete Weibull (type I, Nakagawa-Osaki): P(X > k) = q^(k^beta),
+// supported on {1, 2, ...} via shift: S(k) = q^((k)^beta), P(k) =
+// q^((k-1)^beta) - q^(k^beta).
+
+// Weibull is the discrete Weibull distribution with scale Q in (0,1) and
+// shape Beta > 0.
+type Weibull struct {
+	Q    float64
+	Beta float64
+}
+
+// NewWeibull returns a discrete Weibull model.
+func NewWeibull(q, beta float64) *Weibull { return &Weibull{Q: q, Beta: beta} }
+
+// Name implements Model.
+func (w *Weibull) Name() string { return "weibull" }
+
+// Params implements Model.
+func (w *Weibull) Params() string { return fmt.Sprintf("q=%.4f beta=%.4f", w.Q, w.Beta) }
+
+// survival returns P(X > k) = q^(k^beta) for k >= 0.
+func (w *Weibull) survival(k int) float64 {
+	if k < 0 {
+		return 1
+	}
+	return math.Pow(w.Q, math.Pow(float64(k), w.Beta))
+}
+
+// PMF implements Model.
+func (w *Weibull) PMF(k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	return w.survival(k-1) - w.survival(k)
+}
+
+// CDF implements Model.
+func (w *Weibull) CDF(k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	return 1 - w.survival(k)
+}
+
+// Mean implements Model. Computed by summing the survival function.
+func (w *Weibull) Mean() float64 {
+	var s float64
+	for k := 0; k < 1_000_000; k++ {
+		sv := w.survival(k)
+		s += sv
+		if sv < 1e-15 {
+			break
+		}
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Special functions.
+
+// RiemannZeta computes ζ(s) for s > 1 using Euler-Maclaurin acceleration.
+func RiemannZeta(s float64) float64 {
+	if s <= 1 {
+		return math.Inf(1)
+	}
+	// Direct sum of N terms plus integral tail correction terms.
+	const N = 64
+	var sum float64
+	for k := 1; k < N; k++ {
+		sum += math.Pow(float64(k), -s)
+	}
+	n := float64(N)
+	sum += math.Pow(n, -s) / 2
+	sum += math.Pow(n, 1-s) / (s - 1)
+	// First Bernoulli correction: B2/2! * s * n^(-s-1), B2 = 1/6.
+	sum += s * math.Pow(n, -s-1) / 12
+	// Second correction: -s(s+1)(s+2)/720 * n^(-s-3).
+	sum -= s * (s + 1) * (s + 2) * math.Pow(n, -s-3) / 720
+	return sum
+}
+
+// HurwitzZeta computes ζ(s, a) = Σ_{k>=0} (k+a)^-s for s > 1, a > 0.
+func HurwitzZeta(s, a float64) float64 {
+	if s <= 1 {
+		return math.Inf(1)
+	}
+	const N = 64
+	var sum float64
+	for k := 0; k < N; k++ {
+		sum += math.Pow(float64(k)+a, -s)
+	}
+	n := float64(N) + a
+	sum += math.Pow(n, -s) / 2
+	sum += math.Pow(n, 1-s) / (s - 1)
+	sum += s * math.Pow(n, -s-1) / 12
+	sum -= s * (s + 1) * (s + 2) * math.Pow(n, -s-3) / 720
+	return sum
+}
+
+// LogGamma returns ln Γ(x) for x > 0 (thin wrapper with sign dropped,
+// valid for positive arguments).
+func LogGamma(x float64) float64 {
+	lg, _ := math.Lgamma(x)
+	return lg
+}
+
+// ErrNoData is returned by fitting functions when the sample is empty.
+var ErrNoData = errors.New("stats: empty sample")

@@ -1,0 +1,237 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Fit is the result of fitting one model family to a sample.
+type Fit struct {
+	Model         Model
+	LogLikelihood float64
+	KS            float64 // Kolmogorov-Smirnov distance
+	AIC           float64 // 2k - 2 lnL
+	NumParams     int
+}
+
+// Sample is a degree sample with cached summary statistics.
+type Sample struct {
+	Data []int
+	n    float64
+	mean float64
+}
+
+// NewSample wraps data (values must be >= 1; zeros are clamped to 1, as
+// degree-distribution fits in the paper are over connected vertices).
+func NewSample(data []int) (*Sample, error) {
+	if len(data) == 0 {
+		return nil, ErrNoData
+	}
+	clean := make([]int, len(data))
+	var sum float64
+	for i, v := range data {
+		if v < 1 {
+			v = 1
+		}
+		clean[i] = v
+		sum += float64(v)
+	}
+	return &Sample{Data: clean, n: float64(len(clean)), mean: sum / float64(len(clean))}, nil
+}
+
+// Mean returns the sample mean.
+func (s *Sample) Mean() float64 { return s.mean }
+
+// histogram returns value -> count, and the sorted distinct values.
+func (s *Sample) histogram() (map[int]int, []int) {
+	h := make(map[int]int)
+	for _, v := range s.Data {
+		h[v]++
+	}
+	keys := make([]int, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return h, keys
+}
+
+// logLikelihood of model m over the sample, computed from the histogram.
+func (s *Sample) logLikelihood(m Model) float64 {
+	h, keys := s.histogram()
+	var ll float64
+	for _, k := range keys {
+		p := m.PMF(k)
+		if p <= 0 {
+			p = 1e-300
+		}
+		ll += float64(h[k]) * math.Log(p)
+	}
+	return ll
+}
+
+// KSDistance returns the Kolmogorov-Smirnov statistic between the sample
+// ECDF and the model CDF. The model CDF is accumulated incrementally from
+// the PMF so heavy-tailed samples stay O(max value), not O(max value²).
+func (s *Sample) KSDistance(m Model) float64 {
+	h, keys := s.histogram()
+	var cum float64
+	var d float64
+	mc := 0.0 // model CDF at current k
+	nextK := 1
+	for _, k := range keys {
+		mcPrev := mc
+		for ; nextK <= k; nextK++ {
+			if nextK == k {
+				mcPrev = mc
+			}
+			mc += m.PMF(nextK)
+		}
+		prev := cum / s.n
+		cum += float64(h[k])
+		ecdf := cum / s.n
+		if diff := math.Abs(ecdf - mc); diff > d {
+			d = diff
+		}
+		// ECDF jumps at k; also compare the model against the pre-jump value.
+		if diff := math.Abs(prev - mcPrev); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// FitZeta estimates the Zeta exponent by maximum likelihood: maximize
+// -s Σ ln(x_i) - n ln ζ(s) via golden-section search on s in (1, 20].
+func (s *Sample) FitZeta() Fit {
+	sumLog := 0.0
+	for _, v := range s.Data {
+		sumLog += math.Log(float64(v))
+	}
+	nll := func(sv float64) float64 {
+		return sv*sumLog + s.n*math.Log(RiemannZeta(sv))
+	}
+	sHat := goldenMin(nll, 1.0001, 20)
+	m := NewZeta(sHat)
+	return s.finish(m, 1)
+}
+
+// FitGeometric estimates p by MLE: p = 1/mean (support starting at 1).
+func (s *Sample) FitGeometric() Fit {
+	p := 1 / s.mean
+	if p > 1 {
+		p = 1
+	}
+	return s.finish(NewGeometric(p), 1)
+}
+
+// FitPoisson estimates λ of the shifted Poisson by MLE: λ = mean - 1.
+func (s *Sample) FitPoisson() Fit {
+	lambda := s.mean - 1
+	if lambda < 1e-9 {
+		lambda = 1e-9
+	}
+	return s.finish(NewPoisson(lambda), 1)
+}
+
+// FitWeibull estimates (q, beta) of the discrete Weibull by maximizing
+// the likelihood with a nested golden-section search: for each beta, the
+// optimal q is found by 1-D search too.
+func (s *Sample) FitWeibull() Fit {
+	nllBeta := func(beta float64) float64 {
+		q := s.bestWeibullQ(beta)
+		return -s.logLikelihood(NewWeibull(q, beta))
+	}
+	beta := goldenMin(nllBeta, 0.05, 5)
+	q := s.bestWeibullQ(beta)
+	return s.finish(NewWeibull(q, beta), 2)
+}
+
+func (s *Sample) bestWeibullQ(beta float64) float64 {
+	nll := func(q float64) float64 {
+		return -s.logLikelihood(NewWeibull(q, beta))
+	}
+	return goldenMin(nll, 1e-6, 1-1e-6)
+}
+
+func (s *Sample) finish(m Model, k int) Fit {
+	ll := s.logLikelihood(m)
+	return Fit{
+		Model:         m,
+		LogLikelihood: ll,
+		KS:            s.KSDistance(m),
+		AIC:           2*float64(k) - 2*ll,
+		NumParams:     k,
+	}
+}
+
+// FitAll fits all four model families and returns the fits sorted by
+// ascending AIC (best first). This reproduces the paper's observation
+// that "depending on the graph, the best fitting model changed".
+func (s *Sample) FitAll() []Fit {
+	fits := []Fit{s.FitZeta(), s.FitGeometric(), s.FitWeibull(), s.FitPoisson()}
+	sort.Slice(fits, func(i, j int) bool { return fits[i].AIC < fits[j].AIC })
+	return fits
+}
+
+// BestFit returns the model family with the lowest AIC.
+func (s *Sample) BestFit() Fit { return s.FitAll()[0] }
+
+// goldenMin minimizes f over [lo, hi] by golden-section search.
+func goldenMin(f func(float64) float64, lo, hi float64) float64 {
+	const phi = 1.6180339887498949
+	const tol = 1e-7
+	a, b := lo, hi
+	c := b - (b-a)/phi
+	d := a + (b-a)/phi
+	fc, fd := f(c), f(d)
+	for math.Abs(b-a) > tol*(math.Abs(a)+math.Abs(b)+1e-9) {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)/phi
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)/phi
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}
+
+// Descriptive summary statistics used in reports.
+type Descriptive struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    int
+	Max    int
+	Median float64
+}
+
+// Describe computes descriptive statistics of the sample.
+func (s *Sample) Describe() Descriptive {
+	d := Descriptive{N: len(s.Data), Mean: s.mean, Min: s.Data[0], Max: s.Data[0]}
+	var ss float64
+	for _, v := range s.Data {
+		if v < d.Min {
+			d.Min = v
+		}
+		if v > d.Max {
+			d.Max = v
+		}
+		dv := float64(v) - s.mean
+		ss += dv * dv
+	}
+	d.StdDev = math.Sqrt(ss / s.n)
+	sorted := make([]int, len(s.Data))
+	copy(sorted, s.Data)
+	sort.Ints(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		d.Median = float64(sorted[mid])
+	} else {
+		d.Median = (float64(sorted[mid-1]) + float64(sorted[mid])) / 2
+	}
+	return d
+}

@@ -1,0 +1,260 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRiemannZetaKnownValues(t *testing.T) {
+	cases := []struct{ s, want float64 }{
+		{2, math.Pi * math.Pi / 6},
+		{4, math.Pow(math.Pi, 4) / 90},
+		{3, 1.2020569031595943}, // Apery's constant
+		{1.5, 2.6123753486854883},
+	}
+	for _, c := range cases {
+		if got := RiemannZeta(c.s); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("zeta(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestHurwitzZetaReducesToRiemann(t *testing.T) {
+	for _, s := range []float64{1.5, 2, 3.7} {
+		if got, want := HurwitzZeta(s, 1), RiemannZeta(s); math.Abs(got-want) > 1e-9 {
+			t.Errorf("hurwitz(%v,1) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestPMFsSumToOne(t *testing.T) {
+	models := []Model{
+		NewZeta(2.5),
+		NewGeometric(0.12),
+		NewPoisson(4.2),
+		NewWeibull(0.8, 1.3),
+	}
+	for _, m := range models {
+		var sum float64
+		for k := 1; k <= 200000; k++ {
+			sum += m.PMF(k)
+			if 1-sum < 1e-10 {
+				break
+			}
+		}
+		if math.Abs(sum-1) > 1e-3 {
+			t.Errorf("%s: PMF sums to %v", m.Name(), sum)
+		}
+	}
+}
+
+func TestCDFMatchesPMFSums(t *testing.T) {
+	models := []Model{NewZeta(1.7), NewGeometric(0.3), NewPoisson(2), NewWeibull(0.6, 0.9)}
+	for _, m := range models {
+		var sum float64
+		for k := 1; k <= 50; k++ {
+			sum += m.PMF(k)
+			if math.Abs(m.CDF(k)-sum) > 1e-9 {
+				t.Errorf("%s: CDF(%d) = %v, PMF sum = %v", m.Name(), k, m.CDF(k), sum)
+				break
+			}
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	g := NewGeometric(0.25)
+	if math.Abs(g.Mean()-4) > 1e-12 {
+		t.Errorf("geometric mean = %v, want 4", g.Mean())
+	}
+}
+
+func TestZetaMean(t *testing.T) {
+	z := NewZeta(3)
+	want := RiemannZeta(2) / RiemannZeta(3)
+	if math.Abs(z.Mean()-want) > 1e-9 {
+		t.Errorf("zeta(3) mean = %v, want %v", z.Mean(), want)
+	}
+	if !math.IsInf(NewZeta(1.7).Mean(), 1) {
+		t.Error("zeta(1.7) mean should be +Inf")
+	}
+}
+
+func sampleFrom(m Model, n int, seed int64) []int {
+	// Inverse-CDF sampling with incremental PMF accumulation (test helper).
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		u := r.Float64()
+		k, cdf := 1, m.PMF(1)
+		for cdf < u && k < 100000 {
+			k++
+			cdf += m.PMF(k)
+		}
+		out[i] = k
+	}
+	return out
+}
+
+func TestFitGeometricRecoversParameter(t *testing.T) {
+	data := sampleFrom(NewGeometric(0.12), 4000, 1)
+	s, err := NewSample(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := s.FitGeometric()
+	p := fit.Model.(*Geometric).P
+	if math.Abs(p-0.12) > 0.02 {
+		t.Errorf("fitted p = %v, want ~0.12", p)
+	}
+	if fit.KS > 0.05 {
+		t.Errorf("KS = %v, want small", fit.KS)
+	}
+}
+
+func TestFitZetaRecoversParameter(t *testing.T) {
+	data := sampleFrom(NewZeta(1.7), 4000, 2)
+	s, err := NewSample(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := s.FitZeta()
+	sv := fit.Model.(*Zeta).S
+	if math.Abs(sv-1.7) > 0.1 {
+		t.Errorf("fitted s = %v, want ~1.7", sv)
+	}
+}
+
+func TestFitPoissonRecoversParameter(t *testing.T) {
+	data := sampleFrom(NewPoisson(5), 3000, 3)
+	s, err := NewSample(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := s.FitPoisson()
+	l := fit.Model.(*Poisson).Lambda
+	if math.Abs(l-5) > 0.3 {
+		t.Errorf("fitted lambda = %v, want ~5", l)
+	}
+}
+
+func TestFitWeibullReasonable(t *testing.T) {
+	data := sampleFrom(NewWeibull(0.7, 1.2), 2000, 4)
+	s, err := NewSample(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := s.FitWeibull()
+	if fit.KS > 0.08 {
+		t.Errorf("weibull self-fit KS = %v, want small", fit.KS)
+	}
+}
+
+func TestModelSelectionPicksGeneratingFamily(t *testing.T) {
+	cases := []struct {
+		gen  Model
+		want string
+	}{
+		{NewZeta(1.7), "zeta"},
+		{NewGeometric(0.12), "geometric"},
+		{NewPoisson(6), "poisson"},
+	}
+	for _, c := range cases {
+		data := sampleFrom(c.gen, 3000, 7)
+		s, _ := NewSample(data)
+		best := s.BestFit()
+		if best.Model.Name() != c.want {
+			t.Errorf("data from %s: best fit = %s (AIC %.1f)", c.want, best.Model.Name(), best.AIC)
+		}
+	}
+}
+
+func TestFitAllSortedByAIC(t *testing.T) {
+	data := sampleFrom(NewGeometric(0.2), 1000, 9)
+	s, _ := NewSample(data)
+	fits := s.FitAll()
+	if len(fits) != 4 {
+		t.Fatalf("FitAll returned %d fits", len(fits))
+	}
+	for i := 1; i < len(fits); i++ {
+		if fits[i-1].AIC > fits[i].AIC {
+			t.Fatal("FitAll not sorted by AIC")
+		}
+	}
+}
+
+func TestNewSampleValidation(t *testing.T) {
+	if _, err := NewSample(nil); err != ErrNoData {
+		t.Errorf("NewSample(nil) err = %v, want ErrNoData", err)
+	}
+	s, err := NewSample([]int{0, -3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s.Data {
+		if v < 1 {
+			t.Errorf("NewSample kept value %d < 1", v)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s, _ := NewSample([]int{1, 2, 3, 4, 100})
+	d := s.Describe()
+	if d.N != 5 || d.Min != 1 || d.Max != 100 {
+		t.Errorf("Describe = %+v", d)
+	}
+	if d.Median != 3 {
+		t.Errorf("median = %v, want 3", d.Median)
+	}
+	if math.Abs(d.Mean-22) > 1e-12 {
+		t.Errorf("mean = %v, want 22", d.Mean)
+	}
+}
+
+func TestKSDistanceZeroForPerfectModel(t *testing.T) {
+	// Degenerate sample all 1s vs geometric p=1 (all mass at 1): KS = 0.
+	s, _ := NewSample([]int{1, 1, 1, 1})
+	if ks := s.KSDistance(NewGeometric(1)); ks > 1e-12 {
+		t.Errorf("KS = %v, want 0", ks)
+	}
+}
+
+// Property: KS distance is always in [0, 1].
+func TestQuickKSInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		data := make([]int, 50)
+		for i := range data {
+			data[i] = 1 + r.Intn(30)
+		}
+		s, err := NewSample(data)
+		if err != nil {
+			return false
+		}
+		for _, m := range []Model{NewZeta(2), NewGeometric(0.3), NewPoisson(3), NewWeibull(0.5, 1)} {
+			ks := s.KSDistance(m)
+			if ks < 0 || ks > 1 || math.IsNaN(ks) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: goldenMin finds the minimum of a convex parabola.
+func TestQuickGoldenMin(t *testing.T) {
+	f := func(c float64) bool {
+		center := math.Mod(math.Abs(c), 5) + 1 // in [1, 6]
+		got := goldenMin(func(x float64) float64 { return (x - center) * (x - center) }, 0, 10)
+		return math.Abs(got-center) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package validation implements the Output Validator of the
+// Graphalytics architecture (Figure 2): it "checks the outcome of the
+// benchmark to ensure correctness" by comparing every platform result
+// against the sequential reference implementation.
+//
+// Validation rules per algorithm:
+//
+//   - STATS: vertex and edge counts must match exactly; the mean local
+//     clustering coefficient must match within epsilon (different
+//     platforms sum per-vertex LCC values in different orders).
+//   - BFS: depths must match exactly.
+//   - CONN: labels must match exactly (the specification fixes labels to
+//     component minima, so equivalence-up-to-relabeling is not needed).
+//   - CD: labels must match the reference exactly (the deterministic
+//     Leung specification), and additionally the labeling must be a
+//     structurally valid partition whose modularity matches.
+//   - EVO: the new edge set must match exactly (deterministic fires).
+package validation
+
+import (
+	"fmt"
+	"math"
+
+	"graphalytics/internal/algo"
+	"graphalytics/internal/graph"
+)
+
+// Epsilon is the floating-point tolerance for STATS MeanLCC.
+const Epsilon = 1e-9
+
+// Result is one validation outcome.
+type Result struct {
+	Valid  bool
+	Detail string // human-readable failure description ("" when valid)
+}
+
+func ok() Result { return Result{Valid: true} }
+
+func fail(format string, args ...any) Result {
+	return Result{Valid: false, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks output (a platform result) for algorithm kind on g
+// against the reference implementation run with params.
+func Validate(g *graph.Graph, kind algo.Kind, params algo.Params, output any) Result {
+	params = params.WithDefaults(g.NumVertices())
+	switch kind {
+	case algo.STATS:
+		got, okT := output.(algo.StatsOutput)
+		if !okT {
+			return fail("STATS output has type %T", output)
+		}
+		return ValidateStats(g, got)
+	case algo.BFS:
+		got, okT := output.(algo.BFSOutput)
+		if !okT {
+			return fail("BFS output has type %T", output)
+		}
+		return ValidateBFS(g, params.Source, got)
+	case algo.CONN:
+		got, okT := output.(algo.ConnOutput)
+		if !okT {
+			return fail("CONN output has type %T", output)
+		}
+		return ValidateConn(g, got)
+	case algo.CD:
+		got, okT := output.(algo.CDOutput)
+		if !okT {
+			return fail("CD output has type %T", output)
+		}
+		return ValidateCD(g, params, got)
+	case algo.EVO:
+		got, okT := output.(algo.EvoOutput)
+		if !okT {
+			return fail("EVO output has type %T", output)
+		}
+		return ValidateEvo(g, params, got)
+	default:
+		return fail("unknown algorithm %s", kind)
+	}
+}
+
+// ValidateStats checks a STATS output.
+func ValidateStats(g *graph.Graph, got algo.StatsOutput) Result {
+	want := algo.RunStats(g)
+	if got.Vertices != want.Vertices {
+		return fail("vertices = %d, want %d", got.Vertices, want.Vertices)
+	}
+	if got.Edges != want.Edges {
+		return fail("edges = %d, want %d", got.Edges, want.Edges)
+	}
+	if math.Abs(got.MeanLCC-want.MeanLCC) > Epsilon {
+		return fail("mean LCC = %.12f, want %.12f (|Δ| > %g)", got.MeanLCC, want.MeanLCC, Epsilon)
+	}
+	return ok()
+}
+
+// ValidateBFS checks a BFS output.
+func ValidateBFS(g *graph.Graph, source graph.VertexID, got algo.BFSOutput) Result {
+	if len(got) != g.NumVertices() {
+		return fail("output has %d entries, want %d", len(got), g.NumVertices())
+	}
+	want := algo.RunBFS(g, source)
+	for v := range want {
+		if got[v] != want[v] {
+			return fail("vertex %d: depth %d, want %d", v, got[v], want[v])
+		}
+	}
+	return ok()
+}
+
+// ValidateConn checks a CONN output.
+func ValidateConn(g *graph.Graph, got algo.ConnOutput) Result {
+	if len(got) != g.NumVertices() {
+		return fail("output has %d entries, want %d", len(got), g.NumVertices())
+	}
+	want := algo.RunConn(g)
+	for v := range want {
+		if got[v] != want[v] {
+			return fail("vertex %d: label %d, want %d", v, got[v], want[v])
+		}
+	}
+	return ok()
+}
+
+// ValidateCD checks a CD output: exact label match plus structural
+// sanity (labels must be existing vertex IDs) and modularity agreement.
+func ValidateCD(g *graph.Graph, params algo.Params, got algo.CDOutput) Result {
+	if len(got) != g.NumVertices() {
+		return fail("output has %d entries, want %d", len(got), g.NumVertices())
+	}
+	for v, l := range got {
+		if l < 0 || l >= int64(g.NumVertices()) {
+			return fail("vertex %d: label %d outside vertex ID domain", v, l)
+		}
+	}
+	want := algo.RunCD(g, params)
+	for v := range want {
+		if got[v] != want[v] {
+			return fail("vertex %d: label %d, want %d", v, got[v], want[v])
+		}
+	}
+	if qGot, qWant := algo.Modularity(g, got), algo.Modularity(g, want); math.Abs(qGot-qWant) > Epsilon {
+		return fail("modularity %.9f, want %.9f", qGot, qWant)
+	}
+	return ok()
+}
+
+// ValidateEvo checks an EVO output: exact new-edge-set match plus
+// structural sanity (sources are new vertices, targets are older).
+func ValidateEvo(g *graph.Graph, params algo.Params, got algo.EvoOutput) Result {
+	n := graph.VertexID(g.NumVertices())
+	for _, e := range got.Edges {
+		if e[0] < n {
+			return fail("edge source %d is not a new vertex", e[0])
+		}
+		if e[1] >= e[0] {
+			return fail("edge (%d,%d) does not point to an older vertex", e[0], e[1])
+		}
+	}
+	want := algo.RunEvo(g, params)
+	if got.NewVertices != want.NewVertices {
+		return fail("new vertices = %d, want %d", got.NewVertices, want.NewVertices)
+	}
+	if len(got.Edges) != len(want.Edges) {
+		return fail("new edges = %d, want %d", len(got.Edges), len(want.Edges))
+	}
+	for i := range want.Edges {
+		if got.Edges[i] != want.Edges[i] {
+			return fail("edge %d: %v, want %v", i, got.Edges[i], want.Edges[i])
+		}
+	}
+	return ok()
+}

@@ -1,0 +1,153 @@
+package validation
+
+import (
+	"testing"
+
+	"graphalytics/internal/algo"
+	"graphalytics/internal/gen/datagen"
+	"graphalytics/internal/graph"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := datagen.Generate(datagen.Config{Persons: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestValidReferenceOutputs(t *testing.T) {
+	g := testGraph(t)
+	params := algo.Params{Source: 0, Seed: 5}.WithDefaults(g.NumVertices())
+	cases := []struct {
+		kind algo.Kind
+		out  any
+	}{
+		{algo.STATS, algo.RunStats(g)},
+		{algo.BFS, algo.RunBFS(g, 0)},
+		{algo.CONN, algo.RunConn(g)},
+		{algo.CD, algo.RunCD(g, params)},
+		{algo.EVO, algo.RunEvo(g, params)},
+	}
+	for _, c := range cases {
+		if r := Validate(g, c.kind, params, c.out); !r.Valid {
+			t.Errorf("%s: reference output rejected: %s", c.kind, r.Detail)
+		}
+	}
+}
+
+func TestWrongTypeRejected(t *testing.T) {
+	g := testGraph(t)
+	params := algo.Params{}
+	for _, k := range algo.Kinds {
+		if r := Validate(g, k, params, "bogus"); r.Valid {
+			t.Errorf("%s: wrong output type accepted", k)
+		}
+	}
+	if r := Validate(g, algo.Kind("XX"), params, nil); r.Valid {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestStatsRejections(t *testing.T) {
+	g := testGraph(t)
+	want := algo.RunStats(g)
+
+	bad := want
+	bad.Vertices++
+	if r := ValidateStats(g, bad); r.Valid {
+		t.Error("wrong vertex count accepted")
+	}
+	bad = want
+	bad.Edges--
+	if r := ValidateStats(g, bad); r.Valid {
+		t.Error("wrong edge count accepted")
+	}
+	bad = want
+	bad.MeanLCC += 0.001
+	if r := ValidateStats(g, bad); r.Valid {
+		t.Error("wrong LCC accepted")
+	}
+	// Tiny float noise within epsilon is fine.
+	near := want
+	near.MeanLCC += 1e-12
+	if r := ValidateStats(g, near); !r.Valid {
+		t.Errorf("epsilon-close LCC rejected: %s", r.Detail)
+	}
+}
+
+func TestBFSRejections(t *testing.T) {
+	g := testGraph(t)
+	want := algo.RunBFS(g, 0)
+	bad := make(algo.BFSOutput, len(want))
+	copy(bad, want)
+	bad[len(bad)/2]++
+	if r := ValidateBFS(g, 0, bad); r.Valid {
+		t.Error("corrupted depth accepted")
+	}
+	if r := ValidateBFS(g, 0, want[:len(want)-1]); r.Valid {
+		t.Error("truncated output accepted")
+	}
+}
+
+func TestConnRejections(t *testing.T) {
+	g := testGraph(t)
+	want := algo.RunConn(g)
+	bad := make(algo.ConnOutput, len(want))
+	copy(bad, want)
+	bad[0] = 99
+	if r := ValidateConn(g, bad); r.Valid {
+		t.Error("corrupted label accepted")
+	}
+}
+
+func TestCDRejections(t *testing.T) {
+	g := testGraph(t)
+	params := algo.Params{}.WithDefaults(g.NumVertices())
+	want := algo.RunCD(g, params)
+	bad := make(algo.CDOutput, len(want))
+	copy(bad, want)
+	bad[3] = int64(g.NumVertices()) + 5 // out of domain
+	if r := ValidateCD(g, params, bad); r.Valid {
+		t.Error("out-of-domain label accepted")
+	}
+	copy(bad, want)
+	bad[3] = want[(len(want)+3)/2]
+	if bad[3] == want[3] {
+		bad[3] = 0
+	}
+	if bad[3] != want[3] {
+		if r := ValidateCD(g, params, bad); r.Valid {
+			t.Error("wrong label accepted")
+		}
+	}
+}
+
+func TestEvoRejections(t *testing.T) {
+	g := testGraph(t)
+	params := algo.Params{Seed: 5}.WithDefaults(g.NumVertices())
+	want := algo.RunEvo(g, params)
+
+	bad := want
+	bad.NewVertices++
+	if r := ValidateEvo(g, params, bad); r.Valid {
+		t.Error("wrong vertex count accepted")
+	}
+
+	bad = want
+	bad.Edges = append([][2]graph.VertexID{}, want.Edges...)
+	if len(bad.Edges) > 0 {
+		bad.Edges = bad.Edges[:len(bad.Edges)-1]
+		if r := ValidateEvo(g, params, bad); r.Valid {
+			t.Error("truncated edge set accepted")
+		}
+	}
+
+	// Structurally invalid: edge from an original vertex.
+	bad = want
+	bad.Edges = append([][2]graph.VertexID{{0, 1}}, want.Edges...)
+	if r := ValidateEvo(g, params, bad); r.Valid {
+		t.Error("edge from original vertex accepted")
+	}
+}

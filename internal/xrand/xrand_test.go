@@ -1,0 +1,143 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42, 1, 2)
+	b := New(42, 1, 2)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+}
+
+func TestStreamsDiffer(t *testing.T) {
+	a := New(42, 1)
+	b := New(42, 2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different streams collided %d times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	r := New(11)
+	var sum float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(5)
+	p := 0.7
+	var sum float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / float64(n)
+	want := p / (1 - p)
+	if math.Abs(mean-want) > 0.05*want+0.02 {
+		t.Errorf("geometric mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestGeometricEdgeCases(t *testing.T) {
+	r := New(5)
+	if r.Geometric(0) != 0 {
+		t.Error("Geometric(0) should be 0")
+	}
+	if v := r.Geometric(1); v < 0 {
+		t.Errorf("Geometric(1) = %d, want >= 0", v)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(9)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("bad permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestMixersAvalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	base := Mix2(123, 456)
+	flipped := Mix2(123, 457)
+	diff := base ^ flipped
+	bits := 0
+	for diff != 0 {
+		bits += int(diff & 1)
+		diff >>= 1
+	}
+	if bits < 16 || bits > 48 {
+		t.Errorf("avalanche bits = %d, want ~32", bits)
+	}
+}
+
+func TestQuickMixersDeterministic(t *testing.T) {
+	f := func(seed, a, b, c uint64) bool {
+		return Mix2(seed, a) == Mix2(seed, a) &&
+			Mix3(seed, a, b) == Mix3(seed, a, b) &&
+			Mix4(seed, a, b, c) == Mix4(seed, a, b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFloat64FromWord(t *testing.T) {
+	f := func(x uint64) bool {
+		v := Float64(x)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
