@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -249,6 +250,9 @@ func BenchmarkFigure4Runtimes(b *testing.B) {
 			Params:    algo.Params{Source: 0, Seed: 42},
 			Timeout:   5 * time.Minute,
 			Validate:  false, // validation is covered by tests; keep timing clean
+			// One cell at a time: concurrent cells would contend and
+			// distort the per-cell runtimes this figure reports.
+			Parallelism: 1,
 		}
 		rep, err := bench.Run(context.Background())
 		if err != nil {
@@ -270,6 +274,8 @@ func BenchmarkFigure5ConnTEPS(b *testing.B) {
 			Algorithms: []algo.Kind{algo.CONN},
 			Params:     algo.Params{Seed: 42},
 			Timeout:    5 * time.Minute,
+			// One cell at a time, as in BenchmarkFigure4Runtimes.
+			Parallelism: 1,
 		}
 		rep, err := bench.Run(context.Background())
 		if err != nil {
@@ -604,4 +610,83 @@ func mustGeometric(b *testing.B) dist.Distribution {
 		b.Fatal(err)
 	}
 	return d
+}
+
+// ---------------------------------------------------------------------
+// Campaign scheduler: parallel matrix execution vs the sequential
+// nested loop, and the repeated-run methodology.
+
+func BenchmarkCampaignSchedulerSpeedup(b *testing.B) {
+	graphs := make([]*graph.Graph, 0, 3)
+	for i, persons := range []int{2000, 1500, 1000} {
+		g, err := datagen.Generate(datagen.Config{Persons: persons, Seed: uint64(10 + i), Name: fmt.Sprintf("sched-%d", persons)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+	platforms := func() []platform.Platform {
+		return []platform.Platform{
+			pregel.New(pregel.Options{}),
+			mapreduce.New(mapreduce.Options{RoundOverhead: -1}),
+			dataflow.New(dataflow.Options{}),
+		}
+	}
+	campaign := func(parallelism int) time.Duration {
+		bench := &core.Benchmark{
+			Platforms:   platforms(),
+			Graphs:      graphs,
+			Params:      algo.Params{Seed: 42},
+			Parallelism: parallelism,
+			Timeout:     5 * time.Minute,
+		}
+		start := time.Now()
+		if _, err := bench.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	for i := 0; i < b.N; i++ {
+		seq := campaign(1)
+		par := campaign(runtime.NumCPU())
+		if i == 0 {
+			fmt.Printf("\n--- Campaign scheduler: 3 platforms × 3 graphs × 5 algorithms ---\n")
+			fmt.Printf("sequential (parallel=1):  %v\n", seq.Round(time.Millisecond))
+			fmt.Printf("parallel   (parallel=%d): %v\n", runtime.NumCPU(), par.Round(time.Millisecond))
+			fmt.Printf("speedup: %.2fx\n", float64(seq)/float64(par))
+		}
+		b.ReportMetric(float64(seq)/float64(par), "speedup")
+	}
+}
+
+func BenchmarkCampaignRepetitions(b *testing.B) {
+	g, err := datagen.Generate(datagen.Config{Persons: 2000, Seed: 21, Name: "reps"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		bench := &core.Benchmark{
+			Platforms:  []platform.Platform{pregel.New(pregel.Options{})},
+			Graphs:     []*graph.Graph{g},
+			Algorithms: []algo.Kind{algo.BFS, algo.CONN},
+			Params:     algo.Params{Seed: 42},
+			Warmup:     1,
+			Reps:       5,
+		}
+		rep, err := bench.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("\n--- Repeated-run methodology: 1 warm-up + 5 timed repetitions ---\n")
+			fmt.Printf("%-6s %12s %12s %12s %12s %12s %12s\n", "algo", "first", "min", "mean", "max", "stddev", "warm-mean")
+			for _, r := range rep.Results {
+				s := r.Reps
+				fmt.Printf("%-6s %12v %12v %12v %12v %12v %12v\n", r.Algorithm,
+					s.First.Round(time.Microsecond), s.Min.Round(time.Microsecond),
+					s.Mean.Round(time.Microsecond), s.Max.Round(time.Microsecond),
+					s.Stddev.Round(time.Microsecond), s.WarmMean.Round(time.Microsecond))
+			}
+		}
+	}
 }

@@ -18,6 +18,10 @@
 //	benchmark.run.graphs     = social:10000,rmat:12,patents
 //	benchmark.run.timeout    = 5m
 //	benchmark.run.validate   = true
+//	benchmark.run.parallel   = 4
+//	benchmark.run.reps       = 5
+//	benchmark.run.warmup     = 1
+//	benchmark.run.retries    = 2
 //	benchmark.output.dir     = report/
 //	platform.dataflow.memory = 268435456
 //	platform.graphdb.memory  = 268435456
@@ -63,6 +67,11 @@ func run() error {
 		timeout    = flag.Duration("timeout", 5*time.Minute, "per-run timeout")
 		outDir     = flag.String("out", "graphalytics-report", "report output directory")
 		validate   = flag.Bool("validate", true, "validate outputs against the reference")
+		parallel   = flag.Int("parallel", 0, "concurrent campaign jobs (0 = all cores, 1 = sequential)")
+		reps       = flag.Int("reps", 1, "timed repetitions per cell (mean runtime reported)")
+		warmup     = flag.Int("warmup", 0, "untimed warm-up executions per cell")
+		retries    = flag.Int("retries", 0, "extra attempts for transiently failed cells")
+		resume     = flag.String("resume", "", "checkpoint file: journal finished cells and skip them on re-run")
 		seed       = flag.Uint64("seed", 42, "generator / algorithm seed")
 		submitURL  = flag.String("submit", "", "results-database base URL to submit the report to (e.g. http://localhost:8080)")
 		submitter  = flag.String("submitter", "anonymous", "submitter name for -submit")
@@ -93,6 +102,18 @@ func run() error {
 	if v, err := props.Bool("benchmark.run.validate", *validate); err == nil {
 		*validate = v
 	}
+	if v, err := props.Int64("benchmark.run.parallel", int64(*parallel)); err == nil {
+		*parallel = int(v)
+	}
+	if v, err := props.Int64("benchmark.run.reps", int64(*reps)); err == nil {
+		*reps = int(v)
+	}
+	if v, err := props.Int64("benchmark.run.warmup", int64(*warmup)); err == nil {
+		*warmup = int(v)
+	}
+	if v, err := props.Int64("benchmark.run.retries", int64(*retries)); err == nil {
+		*retries = int(v)
+	}
 	dir := pick(*outDir, "benchmark.output.dir", "graphalytics-report")
 
 	plats, err := buildPlatforms(platformNames, props)
@@ -116,8 +137,19 @@ func run() error {
 		Timeout:         *timeout,
 		Validate:        *validate,
 		MonitorInterval: 10 * time.Millisecond,
+		Parallelism:     *parallel,
+		Reps:            *reps,
+		Warmup:          *warmup,
+		Retries:         *retries,
+		CheckpointPath:  *resume,
 		Progress: func(r report.RunResult) {
-			fmt.Printf("  %-10s %-14s %-6s %-10s %s\n", r.Platform, r.Graph, r.Algorithm, r.Status, r.Cell())
+			extra := ""
+			if r.Reps != nil {
+				extra = fmt.Sprintf("  (reps %d: min %s mean %s max %s)",
+					r.Reps.Reps, r.Reps.Min.Round(time.Microsecond),
+					r.Reps.Mean.Round(time.Microsecond), r.Reps.Max.Round(time.Microsecond))
+			}
+			fmt.Printf("  %-10s %-14s %-6s %-10s %s%s\n", r.Platform, r.Graph, r.Algorithm, r.Status, r.Cell(), extra)
 		},
 	}
 	fmt.Printf("running %d platforms × %d graphs × %d algorithms\n", len(plats), len(graphs), len(algs))

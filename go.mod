@@ -1,0 +1,3 @@
+module graphalytics
+
+go 1.24

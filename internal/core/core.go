@@ -7,12 +7,25 @@
 // timeouts, captures failures as missing values, validates every output
 // against the reference implementations, monitors the system during
 // runs, and hands the results to the Report Generator.
+//
+// Campaigns execute through the internal/sched scheduler: the matrix
+// becomes a DAG with one ETL/load job per (platform, graph) pair
+// feeding one run job per algorithm cell, executed by a bounded worker
+// pool with per-platform concurrency limits. Each cell may repeat
+// (warm-ups plus timed repetitions, the methodology LDBC Graphalytics
+// standardized), transient failures retry while OOM/timeout stay
+// terminal, and completed cells journal to a checkpoint file so an
+// interrupted campaign resumes without re-running finished work. The
+// report is collated by matrix coordinates, so its ordering is
+// identical regardless of schedule.
 package core
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"graphalytics/internal/algo"
@@ -20,14 +33,16 @@ import (
 	"graphalytics/internal/monitor"
 	"graphalytics/internal/platform"
 	"graphalytics/internal/report"
+	"graphalytics/internal/sched"
 	"graphalytics/internal/validation"
 )
 
 // Benchmark is one configured benchmark campaign.
 type Benchmark struct {
-	// Platforms are the systems under test.
+	// Platforms are the systems under test. Names must be unique: they
+	// key the report matrix and the resume journal.
 	Platforms []platform.Platform
-	// Graphs are the datasets.
+	// Graphs are the datasets. Names must be unique.
 	Graphs []*graph.Graph
 	// Algorithms is the workload selection (nil = all five).
 	Algorithms []algo.Kind
@@ -43,8 +58,34 @@ type Benchmark struct {
 	// MonitorInterval sets the System Monitor sampling period
 	// (0 disables monitoring).
 	MonitorInterval time.Duration
-	// Progress, when non-nil, receives a line per completed run.
+	// Progress, when non-nil, receives a line per completed cell. Under
+	// a parallel schedule cells complete out of matrix order; the final
+	// report is collated by coordinates regardless.
 	Progress func(r report.RunResult)
+
+	// Parallelism bounds concurrently executing campaign jobs
+	// (0 = runtime.NumCPU()). Parallelism 1 reproduces the sequential
+	// nested-loop schedule: load a graph, run its cells, unload, next.
+	Parallelism int
+	// Reps is the number of timed repetitions per cell (<= 1 = one).
+	// With more than one, RunResult.Runtime is the mean of the timed
+	// repetitions and RunResult.Reps carries the full statistics.
+	Reps int
+	// Warmup is the number of untimed warm-up executions before the
+	// timed repetitions of each cell.
+	Warmup int
+	// Retries is the number of extra attempts granted to transiently
+	// failed cells. Out-of-memory and timeout are terminal states and
+	// never retry.
+	Retries int
+	// RetryBackoff is the wait before the first retry (doubling per
+	// retry; 0 = immediate).
+	RetryBackoff time.Duration
+	// CheckpointPath, when non-empty, journals every finished cell to
+	// this file; re-running the same campaign with the same path skips
+	// the journaled cells and re-executes only unfinished ones.
+	// (Monitor samples are not preserved across a resume.)
+	CheckpointPath string
 }
 
 // Run executes the full matrix and returns the report. The context
@@ -56,112 +97,377 @@ func (b *Benchmark) Run(ctx context.Context) (*report.Report, error) {
 	if len(b.Graphs) == 0 {
 		return nil, errors.New("core: no graphs configured")
 	}
+	if err := checkUniqueNames(b.Platforms, b.Graphs); err != nil {
+		return nil, err
+	}
 	algs := b.Algorithms
 	if len(algs) == 0 {
 		algs = algo.Kinds
 	}
+	seenAlg := map[algo.Kind]bool{}
+	for _, a := range algs {
+		if seenAlg[a] {
+			return nil, fmt.Errorf("core: duplicate algorithm %q", a)
+		}
+		seenAlg[a] = true
+	}
+
+	c := &campaign{
+		b:     b,
+		algs:  algs,
+		cells: make([]*report.RunResult, len(b.Platforms)*len(b.Graphs)*len(algs)),
+		retry: sched.RetryPolicy{
+			MaxAttempts: b.Retries + 1,
+			Backoff:     b.RetryBackoff,
+			Retryable:   transient,
+		},
+	}
+	if b.CheckpointPath != "" {
+		j, err := sched.OpenJournal(b.CheckpointPath)
+		if err != nil {
+			return nil, fmt.Errorf("core: opening checkpoint: %w", err)
+		}
+		defer j.Close()
+		c.journal = j
+	}
 
 	rep := &report.Report{Started: time.Now()}
-	for _, p := range b.Platforms {
-		for _, g := range b.Graphs {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			b.runGraph(ctx, p, g, algs, rep)
+	jobs := c.buildJobs()
+	_, schedErr := sched.Run(ctx, jobs, sched.Options{
+		Parallelism: b.Parallelism,
+		ClassLimits: c.classLimits(),
+		Retry:       c.retry,
+	})
+	// Unload any graph whose cells did not all finish (cancellation).
+	for _, pg := range c.pgs {
+		if pg.loaded != nil && pg.remaining.Load() > 0 {
+			pg.loaded.Close()
 		}
+	}
+	if schedErr != nil {
+		return nil, schedErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Deterministic collation: matrix coordinates, never schedule order.
+	for i, r := range c.cells {
+		if r == nil {
+			// Every path (success, failure, load failure, journal)
+			// fills its slot; this is a harness bug, not a missing value.
+			return nil, fmt.Errorf("core: internal error: cell %d not executed", i)
+		}
+		rep.Results = append(rep.Results, *r)
 	}
 	rep.Finished = time.Now()
 	return rep, nil
 }
 
-// runGraph loads g on p (ETL, untimed) and executes all algorithms.
-func (b *Benchmark) runGraph(ctx context.Context, p platform.Platform, g *graph.Graph, algs []algo.Kind, rep *report.Report) {
-	loadStart := time.Now()
-	loaded, err := p.LoadGraph(g)
-	loadTime := time.Since(loadStart)
-	if err != nil {
-		// ETL failure: every cell of this (platform, graph) pair is a
-		// missing value (the Neo4j/GraphX behaviour on oversized graphs).
-		for _, a := range algs {
-			r := report.RunResult{
-				Platform: p.Name(), Graph: g.Name(), Algorithm: a,
-				Status: report.StatusLoadError, LoadTime: loadTime,
-				GraphEdges: g.NumEdges(), Err: err.Error(),
-			}
-			if errors.Is(err, platform.ErrOutOfMemory) {
-				r.Status = report.StatusOOM
-			}
-			b.record(rep, r)
-		}
-		return
-	}
-	defer loaded.Close()
+// transient classifies errors the scheduler may retry: everything
+// except the terminal missing-value states (out of memory, timeout)
+// and campaign cancellation.
+func transient(err error) bool {
+	return !errors.Is(err, platform.ErrOutOfMemory) &&
+		!errors.Is(err, context.DeadlineExceeded) &&
+		!errors.Is(err, context.Canceled)
+}
 
-	for _, a := range algs {
-		if ctx.Err() != nil {
-			return
+func checkUniqueNames(platforms []platform.Platform, graphs []*graph.Graph) error {
+	seen := map[string]bool{}
+	for _, p := range platforms {
+		if seen[p.Name()] {
+			return fmt.Errorf("core: duplicate platform name %q", p.Name())
 		}
-		b.record(rep, b.runOne(ctx, p, loaded, g, a, loadTime))
+		seen[p.Name()] = true
+	}
+	seen = map[string]bool{}
+	for _, g := range graphs {
+		if seen[g.Name()] {
+			return fmt.Errorf("core: duplicate graph name %q", g.Name())
+		}
+		seen[g.Name()] = true
+	}
+	return nil
+}
+
+// campaign is the shared state of one Benchmark.Run: the cell slots the
+// jobs fill, the per-(platform, graph) load states, and the journal.
+type campaign struct {
+	b       *Benchmark
+	algs    []algo.Kind
+	retry   sched.RetryPolicy
+	journal *sched.Journal
+	// cells has one slot per matrix coordinate; each slot is written by
+	// exactly one job (or restored from the journal before scheduling).
+	cells []*report.RunResult
+	pgs   []*pgState
+	// progressMu serializes the Progress callback across workers.
+	progressMu sync.Mutex
+}
+
+// pgState is the lifecycle of one (platform, graph) pair: the loaded
+// graph handle, its ETL time, and the countdown of unfinished cells
+// that decides when to unload.
+type pgState struct {
+	p        platform.Platform
+	g        *graph.Graph
+	loaded   platform.Loaded
+	loadTime time.Duration
+	// remaining counts this pair's run jobs still owing a final
+	// outcome; the job that decrements it to zero closes loaded.
+	remaining atomic.Int64
+	// pendingCells lists the (slot, algorithm) pairs the load job must
+	// fill with missing values if ETL terminally fails.
+	pendingCells []pendingCell
+}
+
+type pendingCell struct {
+	slot int
+	alg  algo.Kind
+}
+
+// cellKey is the journal and job identity of one matrix cell; it must
+// be stable across processes for resume to work.
+func cellKey(p, g string, a algo.Kind) string {
+	return "cell/" + p + "/" + g + "/" + string(a)
+}
+
+// buildJobs turns the matrix into a DAG: per (platform, graph) pair one
+// load job feeding one run job per algorithm. Cells already in the
+// journal restore their result immediately and create no job; a pair
+// whose cells are all journaled skips its load job too.
+func (c *campaign) buildJobs() []sched.Job {
+	b := c.b
+	var jobs []sched.Job
+	for pi, p := range b.Platforms {
+		for gi, g := range b.Graphs {
+			pg := &pgState{p: p, g: g}
+			loadID := "load/" + p.Name() + "/" + g.Name()
+			var runJobs []sched.Job
+			for ai, a := range c.algs {
+				slot := (pi*len(b.Graphs)+gi)*len(c.algs) + ai
+				key := cellKey(p.Name(), g.Name(), a)
+				if c.restoreCell(slot, key) {
+					continue
+				}
+				pg.pendingCells = append(pg.pendingCells, pendingCell{slot: slot, alg: a})
+				a := a
+				runJobs = append(runJobs, sched.Job{
+					ID:    key,
+					Deps:  []string{loadID},
+					Class: p.Name(),
+					Run: func(ctx context.Context, attempt int) error {
+						return c.runCellJob(ctx, pg, a, slot, key, attempt)
+					},
+				})
+			}
+			if len(runJobs) == 0 {
+				continue
+			}
+			pg.remaining.Store(int64(len(runJobs)))
+			c.pgs = append(c.pgs, pg)
+			jobs = append(jobs, sched.Job{
+				ID:    loadID,
+				Class: p.Name(),
+				Run: func(ctx context.Context, attempt int) error {
+					return c.loadJob(pg, attempt)
+				},
+			})
+			jobs = append(jobs, runJobs...)
+		}
+	}
+	return jobs
+}
+
+// classLimits maps each platform to its concurrency hint so that
+// memory-budgeted engines serialize their own jobs while the rest of
+// the campaign proceeds.
+func (c *campaign) classLimits() map[string]int {
+	limits := map[string]int{}
+	for _, p := range c.b.Platforms {
+		if n := platform.ConcurrencyLimitOf(p); n > 0 {
+			limits[p.Name()] = n
+		}
+	}
+	return limits
+}
+
+// restoreCell fills a slot from the journal; it reports whether the
+// cell was already finished by a previous (interrupted) campaign.
+func (c *campaign) restoreCell(slot int, key string) bool {
+	if c.journal == nil {
+		return false
+	}
+	var r report.RunResult
+	ok, err := c.journal.Get(key, &r)
+	if !ok || err != nil {
+		// An unreadable entry just re-runs the cell.
+		return false
+	}
+	c.cells[slot] = &r
+	return true
+}
+
+// finalAttempt reports whether the scheduler will not re-run the job
+// after err, so jobs record results only on their last attempt. The
+// decision is the scheduler's own retry predicate, not a copy of it.
+func (c *campaign) finalAttempt(err error, attempt int) bool {
+	return !c.retry.WillRetry(err, attempt)
+}
+
+// loadJob performs the ETL step for one (platform, graph) pair. On
+// terminal failure every pending cell of the pair becomes a missing
+// value (the Neo4j/GraphX behaviour on oversized graphs) and the
+// returned error makes the scheduler skip the pair's run jobs.
+func (c *campaign) loadJob(pg *pgState, attempt int) error {
+	loadStart := time.Now()
+	loaded, err := pg.p.LoadGraph(pg.g)
+	pg.loadTime = time.Since(loadStart)
+	if err != nil {
+		if c.finalAttempt(err, attempt) {
+			status := report.StatusLoadError
+			if errors.Is(err, platform.ErrOutOfMemory) {
+				status = report.StatusOOM
+			}
+			for _, cell := range pg.pendingCells {
+				r := report.RunResult{
+					Platform: pg.p.Name(), Graph: pg.g.Name(), Algorithm: cell.alg,
+					Status: status, LoadTime: pg.loadTime,
+					GraphEdges: pg.g.NumEdges(), Err: err.Error(),
+					Attempts: attempt,
+				}
+				c.finishCell(cell.slot, cellKey(pg.p.Name(), pg.g.Name(), cell.alg), r)
+			}
+		}
+		return err
+	}
+	pg.loaded = loaded
+	return nil
+}
+
+// runCellJob executes one matrix cell (warm-ups + repetitions) and, on
+// its final attempt, records the result and possibly unloads the
+// graph. Transient failures propagate so the scheduler can retry.
+func (c *campaign) runCellJob(ctx context.Context, pg *pgState, a algo.Kind, slot int, key string, attempt int) error {
+	r, execErr := c.runCell(ctx, pg, a)
+	r.Attempts = attempt
+	if ctx.Err() != nil {
+		// Never record or journal a cancelled cell: the resumed
+		// campaign must re-run it.
+		return ctx.Err()
+	}
+	if !c.finalAttempt(execErr, attempt) {
+		return execErr
+	}
+	c.finishCell(slot, key, r)
+	if pg.remaining.Add(-1) == 0 {
+		pg.loaded.Close()
+	}
+	return nil
+}
+
+// finishCell publishes a final cell outcome: slot write (collation),
+// journal entry (resume), progress callback (live output). Journal
+// writes are best-effort: a failed write only means the cell re-runs
+// after an interruption.
+func (c *campaign) finishCell(slot int, key string, r report.RunResult) {
+	c.cells[slot] = &r
+	if c.journal != nil {
+		_ = c.journal.Record(key, r)
+	}
+	if c.b.Progress != nil {
+		c.progressMu.Lock()
+		c.b.Progress(r)
+		c.progressMu.Unlock()
 	}
 }
 
-// runOne executes one cell of the matrix.
-func (b *Benchmark) runOne(ctx context.Context, p platform.Platform, loaded platform.Loaded, g *graph.Graph, a algo.Kind, loadTime time.Duration) report.RunResult {
+// runCell executes the repetition sequence of one cell: Warmup untimed
+// executions, then max(1, Reps) timed repetitions. The returned error
+// is the raw execution error (nil on success) for the retry policy;
+// the RunResult is complete either way.
+func (c *campaign) runCell(ctx context.Context, pg *pgState, a algo.Kind) (report.RunResult, error) {
+	b := c.b
 	r := report.RunResult{
-		Platform: p.Name(), Graph: g.Name(), Algorithm: a,
-		LoadTime: loadTime, GraphEdges: g.NumEdges(),
+		Platform: pg.p.Name(), Graph: pg.g.Name(), Algorithm: a,
+		LoadTime: pg.loadTime, GraphEdges: pg.g.NumEdges(),
 	}
-	runCtx := ctx
-	cancel := func() {}
-	if b.Timeout > 0 {
-		runCtx, cancel = context.WithTimeout(ctx, b.Timeout)
+	reps := b.Reps
+	if reps < 1 {
+		reps = 1
 	}
-	defer cancel()
+	warmup := b.Warmup
+	if warmup < 0 {
+		warmup = 0
+	}
+	total := warmup + reps
 
 	var mon *monitor.Monitor
 	if b.MonitorInterval > 0 {
 		mon = monitor.New(b.MonitorInterval)
 		mon.Start()
 	}
-	start := time.Now()
-	res, err := loaded.Run(runCtx, a, b.Params)
-	r.Runtime = time.Since(start)
-	if mon != nil {
-		r.Monitor = mon.Stop()
+	stopMonitor := func() {
+		if mon != nil {
+			r.Monitor = mon.Stop()
+			mon = nil
+		}
 	}
 
-	switch {
-	case err == nil:
-		r.Status = report.StatusSuccess
-		r.Counters = res.Counters
-		if r.Runtime > 0 {
-			r.KTEPS = float64(g.NumEdges()) / r.Runtime.Seconds() / 1000
+	runtimes := make([]time.Duration, 0, total)
+	var res *platform.Result
+	for i := 0; i < total; i++ {
+		runCtx, cancel := ctx, func() {}
+		if b.Timeout > 0 {
+			runCtx, cancel = context.WithTimeout(ctx, b.Timeout)
 		}
-		if b.Validate {
-			r.Validation = validation.Validate(g, a, b.Params.WithDefaults(g.NumVertices()), res.Output)
-			if !r.Validation.Valid {
-				r.Status = report.StatusInvalid
-				r.Err = fmt.Sprintf("validation: %s", r.Validation.Detail)
+		start := time.Now()
+		out, err := pg.loaded.Run(runCtx, a, b.Params)
+		d := time.Since(start)
+		cancel()
+		if err != nil {
+			stopMonitor()
+			r.Runtime = d
+			r.Err = err.Error()
+			switch {
+			case errors.Is(err, platform.ErrOutOfMemory):
+				r.Status = report.StatusOOM
+			case errors.Is(err, context.DeadlineExceeded):
+				r.Status = report.StatusTimeout
+			default:
+				r.Status = report.StatusError
 			}
-		} else {
-			r.Validation = validation.Result{Valid: true}
+			return r, err
 		}
-	case errors.Is(err, platform.ErrOutOfMemory):
-		r.Status = report.StatusOOM
-		r.Err = err.Error()
-	case errors.Is(err, context.DeadlineExceeded):
-		r.Status = report.StatusTimeout
-		r.Err = err.Error()
-	default:
-		r.Status = report.StatusError
-		r.Err = err.Error()
+		runtimes = append(runtimes, d)
+		res = out
 	}
-	return r
-}
+	stopMonitor()
 
-func (b *Benchmark) record(rep *report.Report, r report.RunResult) {
-	rep.Results = append(rep.Results, r)
-	if b.Progress != nil {
-		b.Progress(r)
+	// §3.3 runtime: with repetitions, the mean of the timed runs.
+	timed := runtimes[warmup:]
+	var sum time.Duration
+	for _, d := range timed {
+		sum += d
 	}
+	r.Runtime = sum / time.Duration(len(timed))
+	if total > 1 {
+		r.Reps = report.NewRepStats(warmup, runtimes)
+	}
+	r.Status = report.StatusSuccess
+	r.Counters = res.Counters
+	if r.Runtime > 0 {
+		r.KTEPS = float64(pg.g.NumEdges()) / r.Runtime.Seconds() / 1000
+	}
+	if b.Validate {
+		r.Validation = validation.Validate(pg.g, a, b.Params.WithDefaults(pg.g.NumVertices()), res.Output)
+		if !r.Validation.Valid {
+			r.Status = report.StatusInvalid
+			r.Err = fmt.Sprintf("validation: %s", r.Validation.Detail)
+		}
+	} else {
+		r.Validation = validation.Result{Valid: true}
+	}
+	return r, nil
 }

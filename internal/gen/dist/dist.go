@@ -1,0 +1,150 @@
+// Package dist provides the pluggable degree-distribution interface of
+// the Datagen reimplementation (§2.2): "the user of the benchmark can
+// configure the degree distribution". A Distribution is a sampleable,
+// truncated discrete model built on the fitted families of
+// internal/stats (Zeta, Geometric, discrete Weibull), exposed through a
+// deterministic inverse-CDF sampler so that graph generation stays
+// bit-identical across worker counts and runs.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"graphalytics/internal/stats"
+	"graphalytics/internal/xrand"
+)
+
+// DefaultMaxDegree caps the support of distributions constructed with
+// maxDegree = 0. Degree samples beyond any realistic window would be
+// clamped by Datagen anyway; the cap keeps the inverse-CDF table small.
+const DefaultMaxDegree = 1 << 16
+
+// Distribution is a degree-distribution plugin: a discrete distribution
+// over degrees {1, ..., max} with deterministic inverse-CDF sampling.
+type Distribution interface {
+	// Name identifies the plugin family ("zeta", "geometric", "facebook").
+	Name() string
+	// Mean returns the mean degree of the (truncated) distribution.
+	Mean() float64
+	// Quantile returns the smallest degree k with CDF(k) >= u, for
+	// u in [0, 1).
+	Quantile(u float64) int
+}
+
+// Sample draws the degree for stream element i deterministically from
+// (seed, i), via SplitMix64 → uniform → inverse CDF. Equal inputs yield
+// equal degrees on every platform and worker count.
+func Sample(d Distribution, seed, i uint64) int {
+	return d.Quantile(xrand.Float64(xrand.Mix2(seed, i)))
+}
+
+// table is a truncated discrete distribution materialized as a
+// cumulative table: cdf[k-1] = P(X <= k) after renormalization to the
+// support {1, ..., len(cdf)}.
+type table struct {
+	name string
+	cdf  []float64
+	mean float64
+}
+
+// newTable truncates model to {1, ..., max}, renormalizes, and
+// precomputes the CDF and mean.
+func newTable(name string, model stats.Model, max int) (*table, error) {
+	if max <= 0 {
+		max = DefaultMaxDegree
+	}
+	cdf := make([]float64, max)
+	var cum, mean float64
+	for k := 1; k <= max; k++ {
+		p := model.PMF(k)
+		cum += p
+		mean += float64(k) * p
+		cdf[k-1] = cum
+	}
+	if cum <= 0 || math.IsNaN(cum) {
+		return nil, fmt.Errorf("dist: %s has no mass on {1..%d}", name, max)
+	}
+	for i := range cdf {
+		cdf[i] /= cum
+	}
+	return &table{name: name, cdf: cdf, mean: mean / cum}, nil
+}
+
+// Name implements Distribution.
+func (t *table) Name() string { return t.name }
+
+// Mean implements Distribution.
+func (t *table) Mean() float64 { return t.mean }
+
+// Quantile implements Distribution.
+func (t *table) Quantile(u float64) int {
+	if u <= 0 {
+		return 1
+	}
+	if u >= 1 {
+		return len(t.cdf)
+	}
+	// Smallest index with cdf[idx] >= u; degree is idx+1.
+	idx := sort.SearchFloat64s(t.cdf, u)
+	if idx >= len(t.cdf) {
+		idx = len(t.cdf) - 1
+	}
+	return idx + 1
+}
+
+// NewZeta returns the Zeta(s) power-law plugin truncated at maxDegree
+// (0 = DefaultMaxDegree). Figure 1 uses s = 1.7. s must exceed 1.
+func NewZeta(s float64, maxDegree int) (Distribution, error) {
+	if s <= 1 {
+		return nil, fmt.Errorf("dist: zeta exponent must exceed 1, got %v", s)
+	}
+	return newTable("zeta", stats.NewZeta(s), maxDegree)
+}
+
+// NewGeometric returns the Geometric(p) plugin truncated at maxDegree
+// (0 = DefaultMaxDegree). Figure 1 uses p = 0.12. p must lie in (0, 1].
+func NewGeometric(p float64, maxDegree int) (Distribution, error) {
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("dist: geometric parameter must lie in (0, 1], got %v", p)
+	}
+	return newTable("geometric", stats.NewGeometric(p), maxDegree)
+}
+
+// NewFacebook returns the Facebook-like default plugin Datagen ships
+// with: a discrete Weibull body (the family fitted to measured Facebook
+// friend counts) with its scale solved so the mean matches the requested
+// mean degree. mean <= 0 selects the measured Facebook mean of ~190.
+func NewFacebook(mean float64) Distribution {
+	if mean <= 0 {
+		mean = 190
+	}
+	// Shape 0.65 gives the heavy-but-not-power-law tail of the measured
+	// distribution; bisect the scale q in (0, 1) to hit the target mean
+	// (the truncated mean is strictly increasing in q).
+	const beta = 0.65
+	max := int(mean * 40)
+	if max < 256 {
+		max = 256
+	}
+	lo, hi := 0.0, 1.0
+	var best *table
+	for i := 0; i < 60; i++ {
+		q := (lo + hi) / 2
+		t, err := newTable("facebook", stats.NewWeibull(q, beta), max)
+		if err != nil {
+			// No mass only when q collapses to 0 or 1; tighten inward.
+			lo = q / 2
+			hi = (1 + hi) / 2
+			continue
+		}
+		best = t
+		if t.mean < mean {
+			lo = q
+		} else {
+			hi = q
+		}
+	}
+	return best
+}

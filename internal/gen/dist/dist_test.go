@@ -1,0 +1,107 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"graphalytics/internal/stats"
+)
+
+func TestZetaMatchesModel(t *testing.T) {
+	d, err := NewZeta(1.7, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "zeta" {
+		t.Errorf("name = %q", d.Name())
+	}
+	// The quantile must invert the truncated, renormalized model CDF.
+	model := stats.NewZeta(1.7)
+	norm := model.CDF(200)
+	for _, k := range []int{1, 2, 5, 10, 50} {
+		u := model.CDF(k) / norm
+		if got := d.Quantile(u - 1e-9); got != k {
+			t.Errorf("Quantile(CDF(%d)) = %d", k, got)
+		}
+	}
+}
+
+func TestZetaRejectsInvalidExponent(t *testing.T) {
+	for _, s := range []float64{0, 0.5, 1} {
+		if _, err := NewZeta(s, 0); err == nil {
+			t.Errorf("NewZeta(%v) should fail", s)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	d, err := NewGeometric(0.12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := d.Mean(); math.Abs(m-1/0.12) > 0.01 {
+		t.Errorf("mean = %v, want %v", m, 1/0.12)
+	}
+	if _, err := NewGeometric(0, 0); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := NewGeometric(1.5, 0); err == nil {
+		t.Error("p>1 should fail")
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	d, err := NewGeometric(0.5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := d.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %d", q)
+	}
+	if q := d.Quantile(1); q != 64 {
+		t.Errorf("Quantile(1) = %d", q)
+	}
+	prev := 0
+	for u := 0.0; u < 1; u += 0.01 {
+		q := d.Quantile(u)
+		if q < prev {
+			t.Fatalf("Quantile not monotone at u=%v: %d < %d", u, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	d, err := NewZeta(1.7, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if Sample(d, 42, i) != Sample(d, 42, i) {
+			t.Fatal("Sample not deterministic")
+		}
+	}
+	// Different streams must not all collapse to one value.
+	seen := map[int]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		seen[Sample(d, 42, i)] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("only %d distinct degrees in 1000 samples", len(seen))
+	}
+}
+
+func TestFacebookMeanSolved(t *testing.T) {
+	for _, want := range []float64{30, 190} {
+		d := NewFacebook(want)
+		if d.Name() != "facebook" {
+			t.Errorf("name = %q", d.Name())
+		}
+		if m := d.Mean(); math.Abs(m-want)/want > 0.05 {
+			t.Errorf("facebook mean = %v, want ~%v", m, want)
+		}
+	}
+	if d := NewFacebook(0); math.Abs(d.Mean()-190)/190 > 0.05 {
+		t.Errorf("default facebook mean = %v, want ~190", d.Mean())
+	}
+}

@@ -42,6 +42,16 @@ func New(opts Options) *Platform {
 // Name implements platform.Platform.
 func (p *Platform) Name() string { return "dataflow" }
 
+// ConcurrencyLimit implements platform.ConcurrencyHinter: a
+// memory-budgeted engine serializes its jobs so concurrent loads do
+// not double-count against one budget.
+func (p *Platform) ConcurrencyLimit() int {
+	if p.opts.MemoryBudget > 0 {
+		return 1
+	}
+	return 0
+}
+
 // LoadGraph implements platform.Platform. The edge structure is held as
 // an immutable dataset; dataflow tuple representation costs ~2× the raw
 // CSR (edge objects with src/dst fields rather than packed arrays).

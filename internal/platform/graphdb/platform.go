@@ -35,6 +35,16 @@ func New(opts Options) *Platform {
 // Name implements platform.Platform.
 func (p *Platform) Name() string { return "graphdb" }
 
+// ConcurrencyLimit implements platform.ConcurrencyHinter: the record
+// store and its page cache are sized for one resident graph, so a
+// memory-budgeted database serializes its jobs.
+func (p *Platform) ConcurrencyLimit() int {
+	if p.opts.MemoryBudget > 0 {
+		return 1
+	}
+	return 0
+}
+
 // LoadGraph implements platform.Platform: it builds the record stores.
 // Unlike the distributed platforms, the whole store must fit in one
 // machine's budget or the import fails.

@@ -33,6 +33,26 @@ type Platform interface {
 	LoadGraph(g *graph.Graph) (Loaded, error)
 }
 
+// ConcurrencyHinter is optionally implemented by platforms whose
+// resources bound how many benchmark jobs the harness should run on
+// them at once. A memory-budgeted engine returns 1 so its jobs
+// serialize (two concurrent loads would double-count against one
+// budget) while unconstrained platforms keep the campaign saturated.
+type ConcurrencyHinter interface {
+	// ConcurrencyLimit returns the maximum number of campaign jobs to
+	// run concurrently on this platform (0 = unlimited).
+	ConcurrencyLimit() int
+}
+
+// ConcurrencyLimitOf returns p's concurrency hint, or 0 (unlimited)
+// for platforms that do not implement ConcurrencyHinter.
+func ConcurrencyLimitOf(p Platform) int {
+	if h, ok := p.(ConcurrencyHinter); ok {
+		return h.ConcurrencyLimit()
+	}
+	return 0
+}
+
 // Loaded is a graph resident on a platform, ready to run algorithms.
 type Loaded interface {
 	// Run executes the algorithm and returns its output and counters.

@@ -41,6 +41,16 @@ func New(opts Options) *Platform {
 // Name implements platform.Platform.
 func (p *Platform) Name() string { return "pregel" }
 
+// ConcurrencyLimit implements platform.ConcurrencyHinter: a
+// memory-budgeted engine serializes its jobs so concurrent loads do
+// not double-count against one budget.
+func (p *Platform) ConcurrencyLimit() int {
+	if p.opts.MemoryBudget > 0 {
+		return 1
+	}
+	return 0
+}
+
 // LoadGraph implements platform.Platform. The BSP engine keeps the CSR
 // resident; loading fails if it alone exceeds the memory budget.
 func (p *Platform) LoadGraph(g *graph.Graph) (platform.Loaded, error) {

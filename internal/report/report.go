@@ -55,6 +55,13 @@ type RunResult struct {
 	Validation validation.Result `json:"validation"`
 	Err        string            `json:"error,omitempty"`
 	Config     map[string]string `json:"config,omitempty"`
+	// Reps holds per-cell repetition statistics when the campaign ran
+	// the cell more than once (warm-ups or repetitions configured);
+	// Runtime then reports the mean of the timed repetitions.
+	Reps *RepStats `json:"reps,omitempty"`
+	// Attempts counts executions of this cell including scheduler
+	// retries of transient failures (0 and 1 both mean one attempt).
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // Report is a full benchmark report.
@@ -188,15 +195,23 @@ func Figure5Table(results []RunResult) string {
 
 // WriteCSV writes all results as CSV.
 func WriteCSV(w io.Writer, results []RunResult) error {
-	if _, err := fmt.Fprintln(w, "platform,graph,algorithm,status,runtime_ms,load_ms,kteps,edges,messages,network_bytes,supersteps,peak_memory,valid"); err != nil {
+	if _, err := fmt.Fprintln(w, "platform,graph,algorithm,status,runtime_ms,load_ms,kteps,edges,messages,network_bytes,supersteps,peak_memory,valid,reps,runtime_min_ms,runtime_max_ms,runtime_stddev_ms"); err != nil {
 		return err
 	}
 	for _, r := range results {
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%.3f,%.3f,%.1f,%d,%d,%d,%d,%d,%v\n",
+		reps, minMS, maxMS, stddevMS := 1, float64(r.Runtime)/1e6, float64(r.Runtime)/1e6, 0.0
+		if r.Reps != nil {
+			reps = r.Reps.Reps
+			minMS = float64(r.Reps.Min) / 1e6
+			maxMS = float64(r.Reps.Max) / 1e6
+			stddevMS = float64(r.Reps.Stddev) / 1e6
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%.3f,%.3f,%.1f,%d,%d,%d,%d,%d,%v,%d,%.3f,%.3f,%.3f\n",
 			r.Platform, r.Graph, r.Algorithm, r.Status,
 			float64(r.Runtime)/1e6, float64(r.LoadTime)/1e6, r.KTEPS, r.GraphEdges,
 			r.Counters.Messages, r.Counters.NetworkBytes, r.Counters.Supersteps,
-			r.Counters.PeakMemoryBytes, r.Validation.Valid); err != nil {
+			r.Counters.PeakMemoryBytes, r.Validation.Valid,
+			reps, minMS, maxMS, stddevMS); err != nil {
 			return err
 		}
 	}

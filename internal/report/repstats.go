@@ -1,0 +1,77 @@
+package report
+
+import (
+	"math"
+	"time"
+)
+
+// RepStats aggregates the repeated-run methodology over one matrix
+// cell: W untimed warm-up executions followed by R timed repetitions,
+// the scheme LDBC Graphalytics later standardized to defend against
+// single-run, non-reproducible measurements. Aggregates (Min/Mean/Max/
+// Stddev) cover the timed repetitions only; First and WarmMean expose
+// the cold-start vs warmed-up split across all executions.
+type RepStats struct {
+	// Warmup is the number of untimed warm-up executions that preceded
+	// the timed repetitions.
+	Warmup int `json:"warmup"`
+	// Reps is the number of timed repetitions aggregated below.
+	Reps int `json:"reps"`
+	// Min/Mean/Max/Stddev summarize the timed repetition runtimes.
+	Min    time.Duration `json:"min_ns"`
+	Mean   time.Duration `json:"mean_ns"`
+	Max    time.Duration `json:"max_ns"`
+	Stddev time.Duration `json:"stddev_ns"`
+	// First is the very first execution's runtime (cold caches, JIT
+	// analogue); WarmMean averages every execution after the first.
+	First    time.Duration `json:"first_ns"`
+	WarmMean time.Duration `json:"warm_mean_ns"`
+	// Runtimes lists every execution in order, warm-ups first.
+	Runtimes []time.Duration `json:"runtimes_ns"`
+}
+
+// NewRepStats summarizes the per-execution runtimes of one cell, of
+// which the first warmup entries were warm-up executions. It returns
+// nil for an empty sample.
+func NewRepStats(warmup int, runtimes []time.Duration) *RepStats {
+	if len(runtimes) == 0 || warmup >= len(runtimes) {
+		return nil
+	}
+	timed := runtimes[warmup:]
+	s := &RepStats{
+		Warmup:   warmup,
+		Reps:     len(timed),
+		Min:      timed[0],
+		Max:      timed[0],
+		First:    runtimes[0],
+		Runtimes: runtimes,
+	}
+	var sum float64
+	for _, d := range timed {
+		if d < s.Min {
+			s.Min = d
+		}
+		if d > s.Max {
+			s.Max = d
+		}
+		sum += float64(d)
+	}
+	mean := sum / float64(len(timed))
+	s.Mean = time.Duration(mean)
+	var sq float64
+	for _, d := range timed {
+		diff := float64(d) - mean
+		sq += diff * diff
+	}
+	s.Stddev = time.Duration(math.Sqrt(sq / float64(len(timed))))
+	if warm := runtimes[1:]; len(warm) > 0 {
+		var wsum float64
+		for _, d := range warm {
+			wsum += float64(d)
+		}
+		s.WarmMean = time.Duration(wsum / float64(len(warm)))
+	} else {
+		s.WarmMean = s.First
+	}
+	return s
+}

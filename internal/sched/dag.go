@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// dag is the validated dependency graph over a job slice: for every job
+// it knows who waits on it (dependents) and how many jobs it waits on
+// (indegree). Jobs are addressed by their index in the input slice so
+// the hot scheduling path never touches strings.
+type dag struct {
+	jobs       []Job
+	index      map[string]int // ID → slice index
+	dependents [][]int        // edges dependency → dependent
+	indegree   []int
+}
+
+// buildDAG validates jobs (unique IDs, known dependencies, no cycles)
+// and returns the adjacency structure the scheduler executes.
+func buildDAG(jobs []Job) (*dag, error) {
+	d := &dag{
+		jobs:       jobs,
+		index:      make(map[string]int, len(jobs)),
+		dependents: make([][]int, len(jobs)),
+		indegree:   make([]int, len(jobs)),
+	}
+	for i, j := range jobs {
+		if j.ID == "" {
+			return nil, fmt.Errorf("sched: job %d has empty ID", i)
+		}
+		if j.Run == nil {
+			return nil, fmt.Errorf("sched: job %q has nil Run", j.ID)
+		}
+		if prev, ok := d.index[j.ID]; ok {
+			return nil, fmt.Errorf("sched: duplicate job ID %q (indices %d and %d)", j.ID, prev, i)
+		}
+		d.index[j.ID] = i
+	}
+	for i, j := range jobs {
+		for _, dep := range j.Deps {
+			di, ok := d.index[dep]
+			if !ok {
+				return nil, fmt.Errorf("sched: job %q depends on unknown job %q", j.ID, dep)
+			}
+			if di == i {
+				return nil, fmt.Errorf("sched: job %q depends on itself", j.ID)
+			}
+			d.dependents[di] = append(d.dependents[di], i)
+			d.indegree[i]++
+		}
+	}
+	if cycle := d.findCycle(); len(cycle) > 0 {
+		return nil, fmt.Errorf("sched: dependency cycle: %s", strings.Join(cycle, " → "))
+	}
+	return d, nil
+}
+
+// findCycle runs Kahn's algorithm on a scratch copy of the indegrees;
+// any job left unprocessed sits on (or downstream of) a cycle. It
+// returns one concrete cycle for the error message, or nil.
+func (d *dag) findCycle() []string {
+	deg := make([]int, len(d.indegree))
+	copy(deg, d.indegree)
+	queue := make([]int, 0, len(deg))
+	for i, n := range deg {
+		if n == 0 {
+			queue = append(queue, i)
+		}
+	}
+	processed := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		processed++
+		for _, dep := range d.dependents[i] {
+			if deg[dep]--; deg[dep] == 0 {
+				queue = append(queue, dep)
+			}
+		}
+	}
+	if processed == len(d.jobs) {
+		return nil
+	}
+	// Walk dependency edges among the remaining jobs until a repeat.
+	start := -1
+	for i, n := range deg {
+		if n > 0 {
+			start = i
+			break
+		}
+	}
+	onPath := map[int]int{}
+	var path []string
+	for i := start; ; {
+		if pos, seen := onPath[i]; seen {
+			return append(path[pos:], d.jobs[i].ID)
+		}
+		onPath[i] = len(path)
+		path = append(path, d.jobs[i].ID)
+		for _, dep := range d.jobs[i].Deps {
+			if di := d.index[dep]; deg[di] > 0 {
+				i = di
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Journal is the campaign checkpoint: an append-only file of JSON
+// lines, one per completed job, so an interrupted campaign can resume
+// without re-running finished work. Each line is {"key": ..., "value":
+// ...}; a torn final line (crash mid-write) is ignored on reload, and
+// a re-recorded key overrides earlier entries (last write wins).
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	done map[string]json.RawMessage
+}
+
+// journalEntry is the on-disk line format.
+type journalEntry struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value,omitempty"`
+}
+
+// OpenJournal loads the checkpoint at path (creating it if absent) and
+// opens it for appending.
+func OpenJournal(path string) (*Journal, error) {
+	j := &Journal{path: path, done: make(map[string]json.RawMessage)}
+	if data, err := os.ReadFile(path); err == nil {
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+		for sc.Scan() {
+			var e journalEntry
+			// Skip malformed lines (torn writes) instead of failing the
+			// resume: losing one cell re-runs it, which is always safe.
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Key == "" {
+				continue
+			}
+			j.done[e.Key] = e.Value
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("sched: reading journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sched: opening journal: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// Has reports whether key is journaled.
+func (j *Journal) Has(key string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.done[key]
+	return ok
+}
+
+// Get unmarshals the journaled value for key into v and reports whether
+// the key was present.
+func (j *Journal) Get(key string, v any) (bool, error) {
+	j.mu.Lock()
+	raw, ok := j.done[key]
+	j.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if v == nil || len(raw) == 0 {
+		return true, nil
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return true, fmt.Errorf("sched: journal entry %q: %w", key, err)
+	}
+	return true, nil
+}
+
+// Record journals key with value (which may be nil) and flushes the
+// line to disk before returning, so a kill after Record never loses
+// the entry.
+func (j *Journal) Record(key string, value any) error {
+	e := journalEntry{Key: key}
+	if value != nil {
+		raw, err := json.Marshal(value)
+		if err != nil {
+			return fmt.Errorf("sched: journaling %q: %w", key, err)
+		}
+		e.Value = raw
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("sched: journaling %q: %w", key, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("sched: syncing journal: %w", err)
+	}
+	j.done[key] = e.Value
+	return nil
+}
+
+// Keys returns the journaled keys, sorted.
+func (j *Journal) Keys() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]string, 0, len(j.done))
+	for k := range j.done {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of journaled entries.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Close closes the underlying file. The Journal must not be used after.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

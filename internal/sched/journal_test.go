@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type cellPayload struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("cell-1", cellPayload{Name: "bfs", N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("cell-2", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !j2.Has("cell-1") || !j2.Has("cell-2") || j2.Has("cell-3") {
+		t.Errorf("keys = %v", j2.Keys())
+	}
+	var p cellPayload
+	ok, err := j2.Get("cell-1", &p)
+	if err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	if p.Name != "bfs" || p.N != 7 {
+		t.Errorf("payload = %+v", p)
+	}
+	if ok, _ := j2.Get("missing", &p); ok {
+		t.Error("Get(missing) = true")
+	}
+	if j2.Len() != 2 {
+		t.Errorf("Len = %d", j2.Len())
+	}
+}
+
+func TestJournalLastWriteWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := j.Record("k", cellPayload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	var p cellPayload
+	if _, err := j2.Get("k", &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 3 {
+		t.Errorf("N = %d, want last write 3", p.N)
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("good", cellPayload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Simulate a crash mid-append: a truncated JSON line at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"torn","val`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !j2.Has("good") {
+		t.Error("intact entry lost")
+	}
+	if j2.Has("torn") {
+		t.Error("torn entry must be discarded")
+	}
+	// The journal must remain appendable after a torn tail.
+	if err := j2.Record("after", nil); err != nil {
+		t.Fatal(err)
+	}
+}
