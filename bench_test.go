@@ -39,6 +39,7 @@ import (
 	"graphalytics/internal/platform/pregel"
 	"graphalytics/internal/report"
 	"graphalytics/internal/stats"
+	"graphalytics/internal/workload"
 )
 
 func envInt(name string, def int) int {
@@ -650,7 +651,7 @@ func BenchmarkCampaignSchedulerSpeedup(b *testing.B) {
 		seq := campaign(1)
 		par := campaign(runtime.NumCPU())
 		if i == 0 {
-			fmt.Printf("\n--- Campaign scheduler: 3 platforms × 3 graphs × 5 algorithms ---\n")
+			fmt.Printf("\n--- Campaign scheduler: 3 platforms × 3 graphs × %d algorithms ---\n", len(workload.Kinds()))
 			fmt.Printf("sequential (parallel=1):  %v\n", seq.Round(time.Millisecond))
 			fmt.Printf("parallel   (parallel=%d): %v\n", runtime.NumCPU(), par.Round(time.Millisecond))
 			fmt.Printf("speedup: %.2fx\n", float64(seq)/float64(par))
@@ -688,5 +689,55 @@ func BenchmarkCampaignRepetitions(b *testing.B) {
 					s.Stddev.Round(time.Microsecond), s.WarmMean.Round(time.Microsecond))
 			}
 		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// LDBC workload hot loops: the reference PageRank scatter and the
+// Dijkstra relaxation loop, the kernels every platform implementation
+// is measured against. Tracked so the perf trajectory of the weighted
+// graph core (weight-array reads on every relaxation) has data points.
+
+func ldbcBenchGraph(b *testing.B, weighted bool) *graph.Graph {
+	b.Helper()
+	g, err := datagen.Generate(datagen.Config{
+		Persons: 20000, Seed: 11, Name: "ldbc-bench", Weighted: weighted,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkPageRankHotLoop(b *testing.B) {
+	g := ldbcBenchGraph(b, false)
+	params := algo.Params{}.WithDefaults(g.NumVertices())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranks := algo.RunPageRank(g, params)
+		if len(ranks) != g.NumVertices() {
+			b.Fatal("bad output")
+		}
+	}
+	edgesPerOp := float64(g.NumArcs()) * float64(params.PRIterations)
+	b.ReportMetric(edgesPerOp*float64(b.N)/b.Elapsed().Seconds()/1e6, "Medges/s")
+}
+
+func BenchmarkSSSPHotLoop(b *testing.B) {
+	for _, weighted := range []bool{false, true} {
+		name := "unit-weights"
+		if weighted {
+			name = "seeded-weights"
+		}
+		b.Run(name, func(b *testing.B) {
+			g := ldbcBenchGraph(b, weighted)
+			b.ResetTimer()
+			var traversed int64
+			for i := 0; i < b.N; i++ {
+				dist := algo.RunSSSP(g, 0)
+				traversed = algo.SSSPTraversedEdges(g, dist)
+			}
+			b.ReportMetric(float64(traversed)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Medges/s")
+		})
 	}
 }

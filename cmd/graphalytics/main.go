@@ -14,7 +14,7 @@
 // Properties understood (flags override):
 //
 //	benchmark.run.platforms  = pregel,mapreduce,dataflow,graphdb
-//	benchmark.run.algorithms = BFS,CD,CONN,EVO,STATS
+//	benchmark.run.algorithms = BFS,CD,CONN,EVO,STATS,PR,SSSP,LCC
 //	benchmark.run.graphs     = social:10000,rmat:12,patents
 //	benchmark.run.timeout    = 5m
 //	benchmark.run.validate   = true
@@ -49,6 +49,7 @@ import (
 	"graphalytics/internal/platform"
 	"graphalytics/internal/report"
 	"graphalytics/internal/resultsdb"
+	"graphalytics/internal/workload"
 )
 
 func main() {
@@ -62,8 +63,9 @@ func run() error {
 	var (
 		configPath = flag.String("config", "", "properties file")
 		platforms  = flag.String("platforms", "", "comma-separated platforms (default all)")
-		algorithms = flag.String("algorithms", "", "comma-separated algorithms (default all)")
+		algorithms = flag.String("algorithms", "", "comma-separated workloads, names or LDBC aliases (default: every registered workload)")
 		graphsSpec = flag.String("graphs", "", "comma-separated graph specs (social:N, rmat:SCALE, amazon|youtube|livejournal|patents|wikipedia, or file:PATH.e)")
+		weighted   = flag.Bool("weighted", false, "generate social/rmat graphs with seeded edge weights (SSSP consumes them)")
 		timeout    = flag.Duration("timeout", 5*time.Minute, "per-run timeout")
 		outDir     = flag.String("out", "graphalytics-report", "report output directory")
 		validate   = flag.Bool("validate", true, "validate outputs against the reference")
@@ -94,13 +96,18 @@ func run() error {
 	}
 
 	platformNames := splitList(pick(*platforms, "benchmark.run.platforms", "pregel,mapreduce,dataflow,graphdb"))
-	algoNames := splitList(pick(*algorithms, "benchmark.run.algorithms", "BFS,CD,CONN,EVO,STATS"))
+	// An empty algorithm list means "every registered workload": the
+	// registry, not this file, decides what the suite contains.
+	algoNames := splitList(pick(*algorithms, "benchmark.run.algorithms", ""))
 	graphSpecs := splitList(pick(*graphsSpec, "benchmark.run.graphs", "social:5000"))
 	if v, err := props.Duration("benchmark.run.timeout", *timeout); err == nil {
 		*timeout = v
 	}
 	if v, err := props.Bool("benchmark.run.validate", *validate); err == nil {
 		*validate = v
+	}
+	if v, err := props.Bool("benchmark.run.weighted", *weighted); err == nil {
+		*weighted = v
 	}
 	if v, err := props.Int64("benchmark.run.parallel", int64(*parallel)); err == nil {
 		*parallel = int(v)
@@ -124,7 +131,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	graphs, err := buildGraphs(graphSpecs, *seed)
+	graphs, err := buildGraphs(graphSpecs, *seed, *weighted)
 	if err != nil {
 		return err
 	}
@@ -230,19 +237,22 @@ func buildPlatforms(names []string, props *config.Properties) ([]platform.Platfo
 	return out, nil
 }
 
+// parseAlgorithms resolves workload names (or LDBC aliases) through the
+// registry, so a newly registered workload is selectable with no parser
+// change.
 func parseAlgorithms(names []string) ([]algo.Kind, error) {
 	var out []algo.Kind
 	for _, n := range names {
-		k, err := algo.ParseKind(n)
+		s, err := workload.Parse(n)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, k)
+		out = append(out, s.Kind)
 	}
 	return out, nil
 }
 
-func buildGraphs(specs []string, seed uint64) ([]*graph.Graph, error) {
+func buildGraphs(specs []string, seed uint64, weighted bool) ([]*graph.Graph, error) {
 	var out []*graph.Graph
 	for _, spec := range specs {
 		kind, arg, _ := strings.Cut(spec, ":")
@@ -252,7 +262,9 @@ func buildGraphs(specs []string, seed uint64) ([]*graph.Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph spec %q: %w", spec, err)
 			}
-			g, err := graphalytics.GenerateSocialNetwork(n, seed)
+			g, err := graphalytics.GenerateSocialNetworkConfig(graphalytics.DatagenConfig{
+				Persons: n, Seed: seed, Weighted: weighted,
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -263,7 +275,9 @@ func buildGraphs(specs []string, seed uint64) ([]*graph.Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph spec %q: %w", spec, err)
 			}
-			g, err := graphalytics.GenerateRMAT(scale, 0, seed)
+			g, err := graphalytics.GenerateRMATConfig(graphalytics.RMATConfig{
+				Scale: scale, Seed: seed, Weighted: weighted,
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -301,6 +315,14 @@ func writeReport(dir string, rep *report.Report) error {
 	}
 	f4 := report.Figure4Table(rep.Results)
 	f5 := report.Figure5Table(rep.Results)
+	for _, r := range rep.Results {
+		// The weighted-workload throughput table rides along when the
+		// campaign ran SSSP.
+		if r.Algorithm == algo.SSSP {
+			f5 += "\n" + report.KTEPSTable(rep.Results, algo.SSSP)
+			break
+		}
+	}
 	if err := os.WriteFile(filepath.Join(dir, "report.txt"), []byte(f4+"\n"+f5), 0o644); err != nil {
 		return err
 	}

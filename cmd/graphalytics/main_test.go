@@ -32,14 +32,19 @@ func TestSplitList(t *testing.T) {
 }
 
 func TestParseAlgorithms(t *testing.T) {
-	algs, err := parseAlgorithms([]string{"BFS", "conn"})
+	// Canonical names, case-insensitive, and LDBC aliases all resolve
+	// through the workload registry.
+	algs, err := parseAlgorithms([]string{"BFS", "conn", "pagerank", "wcc", "sssp"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if algs[0] != algo.BFS || algs[1] != algo.CONN {
-		t.Errorf("algs = %v", algs)
+	want := []algo.Kind{algo.BFS, algo.CONN, algo.PR, algo.CONN, algo.SSSP}
+	for i, k := range want {
+		if algs[i] != k {
+			t.Errorf("algs[%d] = %v, want %v", i, algs[i], k)
+		}
 	}
-	if _, err := parseAlgorithms([]string{"pagerank"}); err == nil {
+	if _, err := parseAlgorithms([]string{"nosuchworkload"}); err == nil {
 		t.Error("unknown algorithm should fail")
 	}
 }
@@ -73,7 +78,7 @@ func TestBuildPlatforms(t *testing.T) {
 }
 
 func TestBuildGraphs(t *testing.T) {
-	graphs, err := buildGraphs([]string{"social:500", "rmat:9", "amazon:512"}, 1)
+	graphs, err := buildGraphs([]string{"social:500", "rmat:9", "amazon:512"}, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,8 +92,20 @@ func TestBuildGraphs(t *testing.T) {
 		t.Errorf("rmat vertices = %d", graphs[1].NumVertices())
 	}
 	for _, bad := range []string{"social:x", "rmat:", "unknown:1", "amazon:x"} {
-		if _, err := buildGraphs([]string{bad}, 1); err == nil {
+		if _, err := buildGraphs([]string{bad}, 1, false); err == nil {
 			t.Errorf("spec %q should fail", bad)
+		}
+	}
+}
+
+func TestBuildGraphsWeighted(t *testing.T) {
+	graphs, err := buildGraphs([]string{"social:300", "rmat:8"}, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range graphs {
+		if !g.Weighted() {
+			t.Errorf("%s: -weighted generation produced an unweighted graph", g.Name())
 		}
 	}
 }
@@ -99,12 +116,24 @@ func TestBuildGraphsFromFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	graphs, err := buildGraphs([]string{"file:" + path}, 1)
+	graphs, err := buildGraphs([]string{"file:" + path}, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if graphs[0].NumEdges() != 2 {
 		t.Errorf("file graph edges = %d", graphs[0].NumEdges())
+	}
+	// A weighted .e file loads with weights reachable from the engines.
+	wpath := filepath.Join(dir, "tinyw.e")
+	if err := os.WriteFile(wpath, []byte("0 1 0.5\n1 2 2.25\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	graphs, err = buildGraphs([]string{"file:" + wpath}, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphs[0].Weighted() {
+		t.Error("weighted .e file loaded unweighted")
 	}
 }
 

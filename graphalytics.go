@@ -46,6 +46,7 @@ import (
 	"graphalytics/internal/platform/mapreduce"
 	"graphalytics/internal/platform/pregel"
 	"graphalytics/internal/report"
+	"graphalytics/internal/workload"
 )
 
 // Core graph types.
@@ -62,7 +63,7 @@ type (
 
 // Workload types.
 type (
-	// Algorithm names one of the five Graphalytics workloads.
+	// Algorithm names one of the Graphalytics workloads.
 	Algorithm = algo.Kind
 	// Params carries algorithm parameters.
 	Params = algo.Params
@@ -76,19 +77,57 @@ type (
 	CDOutput = algo.CDOutput
 	// EvoOutput is the EVO result type platforms return.
 	EvoOutput = algo.EvoOutput
+	// PROutput is the PR (PageRank) result type platforms return.
+	PROutput = algo.PROutput
+	// SSSPOutput is the SSSP result type platforms return.
+	SSSPOutput = algo.SSSPOutput
+	// LCCOutput is the LCC result type platforms return.
+	LCCOutput = algo.LCCOutput
 )
 
-// The five workload algorithms (§3.2).
+// The workload algorithms: the paper's five (§3.2) plus the three LDBC
+// Graphalytics v1.0.1 additions.
 const (
 	STATS = algo.STATS
 	BFS   = algo.BFS
 	CONN  = algo.CONN
 	CD    = algo.CD
 	EVO   = algo.EVO
+	PR    = algo.PR
+	SSSP  = algo.SSSP
+	LCC   = algo.LCC
 )
 
-// Algorithms lists all five workloads.
-var Algorithms = algo.Kinds
+// Algorithms lists every registered workload in the registry's report
+// order.
+func Algorithms() []Algorithm { return workload.Kinds() }
+
+// Workload registry re-exports: the registry is the single place a
+// workload is described (reference, validation policy, capability
+// requirements); see internal/workload.
+type (
+	// WorkloadSpec is one self-describing workload registration.
+	WorkloadSpec = workload.Spec
+	// ValidationPolicy names an output-comparison policy.
+	ValidationPolicy = workload.Policy
+)
+
+// Workloads returns every registered workload spec in report order.
+func Workloads() []WorkloadSpec { return workload.All() }
+
+// ParseAlgorithm resolves a workload name or LDBC alias ("wcc",
+// "pagerank", any case) through the registry.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	s, err := workload.Parse(name)
+	if err != nil {
+		return "", err
+	}
+	return s.Kind, nil
+}
+
+// RegisterWorkload adds a custom workload to the registry; the harness,
+// report, and conformance suite pick it up without further wiring.
+func RegisterWorkload(s WorkloadSpec) { workload.Register(s) }
 
 // Harness types.
 type (
@@ -167,6 +206,15 @@ func GenerateRMAT(scale, edgeFactor int, seed uint64) (*Graph, error) {
 	return rmat.Generate(rmat.Config{Scale: scale, EdgeFactor: edgeFactor, Seed: seed})
 }
 
+// RMATConfig re-exports the full R-MAT generator configuration
+// (including the seeded Weighted option).
+type RMATConfig = rmat.Config
+
+// GenerateRMATConfig produces an R-MAT graph from a full configuration.
+func GenerateRMATConfig(cfg RMATConfig) (*Graph, error) {
+	return rmat.Generate(cfg)
+}
+
 // GenerateSurrogate synthesizes a stand-in for one of the Table 1
 // datasets ("amazon", "youtube", "livejournal", "patents", "wikipedia")
 // at 1/scaleDiv of its published size (0 = default scale).
@@ -212,6 +260,16 @@ func RunReferenceCD(g *Graph, p Params) []int64 { return algo.RunCD(g, p) }
 
 // RunReferenceEvo runs the sequential reference EVO.
 func RunReferenceEvo(g *Graph, p Params) algo.EvoOutput { return algo.RunEvo(g, p) }
+
+// RunReferencePageRank runs the sequential reference PageRank.
+func RunReferencePageRank(g *Graph, p Params) PROutput { return algo.RunPageRank(g, p) }
+
+// RunReferenceSSSP runs the sequential reference SSSP (Dijkstra over
+// the graph's edge weights; unit weights when unweighted).
+func RunReferenceSSSP(g *Graph, source VertexID) SSSPOutput { return algo.RunSSSP(g, source) }
+
+// RunReferenceLCC runs the sequential reference per-vertex LCC.
+func RunReferenceLCC(g *Graph) LCCOutput { return algo.RunLCC(g) }
 
 // Modularity scores a community labeling (the CD quality measure).
 func Modularity(g *Graph, labels []int64) float64 {

@@ -1,6 +1,8 @@
-// Package algo defines the five Graphalytics workload algorithms (§3.2)
-// and provides their sequential reference implementations, which serve as
-// the gold standard the Output Validator checks every platform against:
+// Package algo defines the Graphalytics workload algorithms and provides
+// their sequential reference implementations, which serve as the gold
+// standard the Output Validator checks every platform against.
+//
+// The five workloads of the source paper (§3.2):
 //
 //   - STATS: vertex/edge counts and mean local clustering coefficient;
 //   - BFS:   breadth-first search depths from a seed vertex;
@@ -10,14 +12,26 @@
 //   - EVO:   graph evolution prediction with the Leskovec et al.
 //     forest-fire model.
 //
+// Plus the three workloads the LDBC Graphalytics benchmark v1.0.1 added
+// to the suite:
+//
+//   - PR:    PageRank with damping 0.85 and a fixed iteration count
+//     (dangling mass redistributed uniformly, the LDBC definition);
+//   - SSSP:  single-source shortest paths over float64 edge weights
+//     (unit weights when the graph is unweighted);
+//   - LCC:   the per-vertex local clustering coefficient (STATS reports
+//     only the mean; LCC reports the full vector).
+//
 // Every algorithm is specified deterministically (fixed iteration styles,
 // ordered tie-breaking, per-entity seeded randomness) so that all four
 // platform implementations produce byte-identical outputs — the property
-// that makes exact output validation possible.
+// that makes exact output validation possible. PR and LCC relax this to
+// an epsilon per vertex because platforms sum floats in different orders.
 package algo
 
 import (
 	"fmt"
+	"strings"
 
 	"graphalytics/internal/graph"
 )
@@ -25,36 +39,35 @@ import (
 // Kind names a workload algorithm.
 type Kind string
 
-// The five Graphalytics algorithms.
+// The workload algorithms: the paper's five plus the three LDBC
+// Graphalytics additions.
 const (
 	STATS Kind = "STATS"
 	BFS   Kind = "BFS"
 	CONN  Kind = "CONN"
 	CD    Kind = "CD"
 	EVO   Kind = "EVO"
+	PR    Kind = "PR"
+	SSSP  Kind = "SSSP"
+	LCC   Kind = "LCC"
 )
 
-// Kinds lists all algorithms in the paper's reporting order.
-var Kinds = []Kind{BFS, CD, CONN, EVO, STATS}
+// Kinds lists all algorithms: the paper's five in its reporting order,
+// then the LDBC additions. The workload registry
+// (internal/workload) is the authoritative iteration order for the
+// harness; this list only enumerates the Kind constants.
+var Kinds = []Kind{BFS, CD, CONN, EVO, STATS, PR, SSSP, LCC}
 
-// ParseKind converts a string (any case) to a Kind.
+// ParseKind converts a string (any case) to a Kind. The workload
+// registry's Parse additionally resolves aliases ("wcc", "pagerank");
+// ParseKind only matches the canonical names.
 func ParseKind(s string) (Kind, error) {
 	for _, k := range Kinds {
-		if string(k) == s || lower(string(k)) == lower(s) {
+		if strings.EqualFold(string(k), s) {
 			return k, nil
 		}
 	}
 	return "", fmt.Errorf("algo: unknown algorithm %q", s)
-}
-
-func lower(s string) string {
-	b := []byte(s)
-	for i := range b {
-		if b[i] >= 'A' && b[i] <= 'Z' {
-			b[i] += 'a' - 'A'
-		}
-	}
-	return string(b)
 }
 
 // Params carries per-algorithm parameters. Zero values select the
@@ -82,6 +95,12 @@ type Params struct {
 	EvoMaxBurn int
 	// Seed drives EVO's randomized burning.
 	Seed uint64
+
+	// PRIterations is the fixed PageRank iteration count (default 10,
+	// the LDBC Graphalytics convention of a parameterized fixed count).
+	PRIterations int
+	// PRDamping is the PageRank damping factor (default 0.85).
+	PRDamping float64
 
 	// MaxIterations is a safety bound for fixpoint algorithms
 	// (default 2×|V|+1 supersteps; CONN always converges sooner).
@@ -115,6 +134,12 @@ func (p Params) WithDefaults(n int) Params {
 	if p.EvoMaxBurn <= 0 {
 		p.EvoMaxBurn = 4096
 	}
+	if p.PRIterations <= 0 {
+		p.PRIterations = 10
+	}
+	if p.PRDamping <= 0 || p.PRDamping >= 1 {
+		p.PRDamping = 0.85
+	}
 	if p.MaxIterations <= 0 {
 		p.MaxIterations = 2*n + 1
 	}
@@ -144,3 +169,13 @@ type EvoOutput struct {
 	NewVertices int
 	Edges       [][2]graph.VertexID
 }
+
+// PROutput holds the PageRank of every vertex (sums to 1).
+type PROutput []float64
+
+// SSSPOutput holds the shortest-path distance of every vertex from the
+// source (+Inf = unreachable).
+type SSSPOutput []float64
+
+// LCCOutput holds the local clustering coefficient of every vertex.
+type LCCOutput []float64

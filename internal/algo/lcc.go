@@ -1,0 +1,17 @@
+package algo
+
+import "graphalytics/internal/graph"
+
+// RunLCC computes the LCC workload: the local clustering coefficient of
+// every vertex, under the same specification STATS uses for its mean
+// (see RunStats): with N(v) = (out ∪ in) \ {v} and d = |N(v)|, LCC(v)
+// is the number of ordered pairs (u, w) ∈ N(v)², u ≠ w, with an arc
+// u→w, divided by d(d−1); vertices with d < 2 have LCC 0.
+//
+// Each per-vertex value is an exact int64 triangle count divided by
+// d(d−1), so the reference is deterministic; the Output Validator still
+// compares within an epsilon (the LDBC policy for LCC) to stay robust
+// to platforms that accumulate the numerator in floating point.
+func RunLCC(g *graph.Graph) LCCOutput {
+	return LCCOutput(LocalCC(g))
+}

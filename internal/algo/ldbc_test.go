@@ -1,0 +1,136 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"graphalytics/internal/graph"
+)
+
+// ------------------------- PR -------------------------
+
+func TestPageRankCycle(t *testing.T) {
+	// A directed 3-cycle is perfectly symmetric: ranks stay 1/3.
+	g := directed(t, 3, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	ranks := RunPageRank(g, Params{}.WithDefaults(3))
+	for v, r := range ranks {
+		if math.Abs(r-1.0/3.0) > 1e-12 {
+			t.Errorf("vertex %d: rank %v, want 1/3", v, r)
+		}
+	}
+}
+
+func TestPageRankSumsToOneWithDangling(t *testing.T) {
+	// Vertex 2 is dangling; its mass must be redistributed, keeping the
+	// total at 1.
+	g := directed(t, 4, [][2]int{{0, 1}, {0, 2}, {1, 2}, {3, 0}})
+	ranks := RunPageRank(g, Params{PRIterations: 25}.WithDefaults(4))
+	var sum float64
+	for _, r := range ranks {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ranks sum to %v, want 1", sum)
+	}
+	// The sink collects the most mass, the unreferenced source the least.
+	if !(ranks[2] > ranks[0] && ranks[3] < ranks[0]) {
+		t.Errorf("rank ordering wrong: %v", ranks)
+	}
+}
+
+func TestPageRankOneIterationByHand(t *testing.T) {
+	// 0→1, 0→2: after one iteration from uniform 1/3 with d=0.85:
+	// PR(0) = 0.15/3 + 0.85·(D/3), D = PR(1)+PR(2) = 2/3 (both dangling)
+	g := directed(t, 3, [][2]int{{0, 1}, {0, 2}})
+	ranks := RunPageRank(g, Params{PRIterations: 1}.WithDefaults(3))
+	d, n := 0.85, 3.0
+	dang := 2.0 / 3.0
+	want0 := (1-d)/n + d*dang/n
+	want1 := (1-d)/n + d*dang/n + d*(1.0/3.0)/2
+	if math.Abs(ranks[0]-want0) > 1e-12 || math.Abs(ranks[1]-want1) > 1e-12 {
+		t.Errorf("ranks = %v, want [%v %v %v]", ranks, want0, want1, want1)
+	}
+}
+
+// ------------------------- SSSP -------------------------
+
+func weightedDigraph(t *testing.T, n int, edges [][3]float64) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(graph.Directed(true), graph.WithReverse())
+	b.SetNumVertices(n)
+	for _, e := range edges {
+		b.AddEdgeIDWeighted(graph.VertexID(e[0]), graph.VertexID(e[1]), e[2])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSSSPWeighted(t *testing.T) {
+	// 0 →(1) 1 →(2) 2, and a direct 0 →(5) 2: the two-hop path wins.
+	// Vertex 3 is unreachable.
+	g := weightedDigraph(t, 4, [][3]float64{
+		{0, 1, 1}, {1, 2, 2}, {0, 2, 5},
+	})
+	dist := RunSSSP(g, 0)
+	want := SSSPOutput{0, 1, 3, math.Inf(1)}
+	for v := range want {
+		if dist[v] != want[v] && !(math.IsInf(dist[v], 1) && math.IsInf(want[v], 1)) {
+			t.Errorf("vertex %d: dist %v, want %v", v, dist[v], want[v])
+		}
+	}
+}
+
+func TestSSSPUnweightedMatchesBFS(t *testing.T) {
+	g := randomGraph(t, 200, 600, 7, true)
+	dist := RunSSSP(g, 0)
+	depths := RunBFS(g, 0)
+	for v := range depths {
+		switch {
+		case depths[v] == -1:
+			if !math.IsInf(dist[v], 1) {
+				t.Errorf("vertex %d: unreachable in BFS but dist %v", v, dist[v])
+			}
+		case dist[v] != float64(depths[v]):
+			t.Errorf("vertex %d: dist %v, BFS depth %d", v, dist[v], depths[v])
+		}
+	}
+}
+
+func TestSSSPOutOfRangeSource(t *testing.T) {
+	g := directed(t, 3, [][2]int{{0, 1}})
+	dist := RunSSSP(g, 99)
+	for v, d := range dist {
+		if !math.IsInf(d, 1) {
+			t.Errorf("vertex %d: dist %v, want +Inf", v, d)
+		}
+	}
+}
+
+// ------------------------- LCC -------------------------
+
+func TestLCCTriangleAndKite(t *testing.T) {
+	g := undirected(t, [][2]int64{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	lcc := RunLCC(g)
+	want := []float64{1, 1, 1.0 / 3.0, 0}
+	for v := range want {
+		if math.Abs(lcc[v]-want[v]) > 1e-12 {
+			t.Errorf("vertex %d: LCC %v, want %v", v, lcc[v], want[v])
+		}
+	}
+}
+
+func TestLCCMeanMatchesStats(t *testing.T) {
+	g := randomGraph(t, 300, 1500, 9, true)
+	lcc := RunLCC(g)
+	var sum float64
+	for _, c := range lcc {
+		sum += c
+	}
+	stats := RunStats(g)
+	if math.Abs(sum/float64(len(lcc))-stats.MeanLCC) > 1e-12 {
+		t.Errorf("mean of LCC = %v, STATS MeanLCC = %v", sum/float64(len(lcc)), stats.MeanLCC)
+	}
+}

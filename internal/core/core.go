@@ -35,6 +35,7 @@ import (
 	"graphalytics/internal/report"
 	"graphalytics/internal/sched"
 	"graphalytics/internal/validation"
+	"graphalytics/internal/workload"
 )
 
 // Benchmark is one configured benchmark campaign.
@@ -44,7 +45,8 @@ type Benchmark struct {
 	Platforms []platform.Platform
 	// Graphs are the datasets. Names must be unique.
 	Graphs []*graph.Graph
-	// Algorithms is the workload selection (nil = all five).
+	// Algorithms is the workload selection (nil = every workload in the
+	// registry, in registry order).
 	Algorithms []algo.Kind
 	// Params carries algorithm parameters (zero fields take defaults).
 	Params algo.Params
@@ -102,12 +104,15 @@ func (b *Benchmark) Run(ctx context.Context) (*report.Report, error) {
 	}
 	algs := b.Algorithms
 	if len(algs) == 0 {
-		algs = algo.Kinds
+		algs = workload.Kinds()
 	}
 	seenAlg := map[algo.Kind]bool{}
 	for _, a := range algs {
 		if seenAlg[a] {
 			return nil, fmt.Errorf("core: duplicate algorithm %q", a)
+		}
+		if _, okW := workload.Lookup(a); !okW {
+			return nil, fmt.Errorf("core: algorithm %q is not in the workload registry", a)
 		}
 		seenAlg[a] = true
 	}
@@ -461,7 +466,7 @@ func (c *campaign) runCell(ctx context.Context, pg *pgState, a algo.Kind) (repor
 		r.KTEPS = float64(pg.g.NumEdges()) / r.Runtime.Seconds() / 1000
 	}
 	if b.Validate {
-		r.Validation = validation.Validate(pg.g, a, b.Params.WithDefaults(pg.g.NumVertices()), res.Output)
+		r.Validation = workload.Validate(pg.g, a, b.Params.WithDefaults(pg.g.NumVertices()), res.Output)
 		if !r.Validation.Valid {
 			r.Status = report.StatusInvalid
 			r.Err = fmt.Sprintf("validation: %s", r.Validation.Detail)

@@ -37,6 +37,10 @@ type Config struct {
 	Workers int
 	// Name is the dataset name (default "graph500-<scale>").
 	Name string
+	// Weighted attaches a deterministic, seed-derived float64 weight in
+	// (0, 1] to every edge (the Graph500 SSSP-kernel style of uniform
+	// weights). Unit weights (an unweighted graph) by default.
+	Weighted bool
 }
 
 func (c Config) withDefaults() Config {
@@ -104,8 +108,22 @@ func Generate(cfg Config) (*graph.Graph, error) {
 			k++
 		}
 	}
+	if c.Weighted {
+		g := graph.FromWeightedArcs(c.Name, n, srcs[:k], dsts[:k], edgeWeights(c.Seed, srcs[:k], dsts[:k]), false)
+		return g, nil
+	}
 	g := graph.FromArcs(c.Name, n, srcs[:k], dsts[:k], false)
 	return g, nil
+}
+
+// edgeWeights derives one deterministic weight per edge via the shared
+// xrand.EdgeWeight derivation (seeded, topology-independent).
+func edgeWeights(seed uint64, srcs, dsts []graph.VertexID) []float64 {
+	ws := make([]float64, len(srcs))
+	for i := range ws {
+		ws[i] = xrand.EdgeWeight(seed, uint64(srcs[i]), uint64(dsts[i]))
+	}
+	return ws
 }
 
 // edge places edge i by the recursive quadrant walk. All randomness is a

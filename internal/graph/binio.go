@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 )
 
@@ -17,17 +18,19 @@ import (
 //
 //	magic   "GALB" (4 bytes)
 //	version u8 (=1)
-//	flags   u8 (bit0 directed, bit1 has-labels, bit2 has-reverse)
+//	flags   u8 (bit0 directed, bit1 has-labels, bit2 has-reverse,
+//	        bit3 has-weights)
 //	name    uvarint length + bytes
 //	n       uvarint vertex count
 //	arcs    uvarint arc count
 //	degrees n × uvarint (out-degree per vertex)
 //	edges   per vertex: sorted adjacency delta-encoded (first value
 //	        absolute, then gaps)
+//	[weights arcs × float64 LE, in edge order (if bit3)]
 //	[labels n × varint (if bit1)]
 //
-// The reverse adjacency is rebuilt on load when bit2 is set (it is
-// derivable, so it is not stored).
+// The reverse adjacency (and its weights) is rebuilt on load when bit2
+// is set (it is derivable, so it is not stored).
 
 const binMagic = "GALB"
 
@@ -49,6 +52,9 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 	}
 	if g.directed && g.inIndex != nil {
 		flags |= 4
+	}
+	if g.outWeights != nil {
+		flags |= 8
 	}
 	if err := bw.WriteByte(1); err != nil {
 		return err
@@ -95,6 +101,15 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 				return err
 			}
 			prev = uint64(u)
+		}
+	}
+	if g.outWeights != nil {
+		var wbuf [8]byte
+		for _, wt := range g.outWeights {
+			binary.LittleEndian.PutUint64(wbuf[:], math.Float64bits(wt))
+			if _, err := bw.Write(wbuf[:]); err != nil {
+				return err
+			}
 		}
 	}
 	if g.labels != nil {
@@ -187,6 +202,16 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 			g.outEdges[i] = VertexID(prev)
 		}
 	}
+	if flags&8 != 0 {
+		g.outWeights = make([]float64, arcs)
+		var wbuf [8]byte
+		for i := range g.outWeights {
+			if _, err := io.ReadFull(br, wbuf[:]); err != nil {
+				return nil, fmt.Errorf("%w: truncated weights: %v", ErrBadFormat, err)
+			}
+			g.outWeights[i] = math.Float64frombits(binary.LittleEndian.Uint64(wbuf[:]))
+		}
+	}
 	if flags&2 != 0 {
 		g.labels = make([]int64, n)
 		for v := 0; v < n; v++ {
@@ -199,15 +224,23 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	}
 	if !g.directed {
 		g.inIndex, g.inEdges = g.outIndex, g.outEdges
+		g.inWeights = g.outWeights
 	} else if flags&4 != 0 {
-		// Rebuild the reverse adjacency.
+		// Rebuild the reverse adjacency (with weights when present).
 		srcs := make([]VertexID, 0, arcs)
 		dsts := make([]VertexID, 0, arcs)
-		g.Arcs(func(u, v VertexID) {
+		var ws []float64
+		if g.outWeights != nil {
+			ws = make([]float64, 0, arcs)
+		}
+		g.ArcsW(func(u, v VertexID, wt float64) {
 			srcs = append(srcs, u)
 			dsts = append(dsts, v)
+			if ws != nil {
+				ws = append(ws, wt)
+			}
 		})
-		g.inIndex, g.inEdges = buildCSR(n, dsts, srcs, false)
+		g.inIndex, g.inEdges, g.inWeights = buildCSRW(n, dsts, srcs, ws, false)
 	}
 	return g, nil
 }

@@ -11,6 +11,12 @@ import (
 // the builder densifies them to internal IDs. Use AddEdgeID to add edges
 // that already use dense IDs (faster, no remapping).
 //
+// Edges may optionally carry float64 weights (AddEdgeWeighted /
+// AddEdgeIDWeighted). The first weighted add switches the builder into
+// weighted mode; unweighted adds before or after contribute weight 1.
+// Duplicate arcs deduplicate to the smallest weight, which is
+// deterministic regardless of input order.
+//
 // The zero Builder builds a directed graph; use NewBuilder to configure.
 type Builder struct {
 	directed   bool
@@ -19,6 +25,7 @@ type Builder struct {
 	buildIn    bool
 	name       string
 	srcs, dsts []VertexID
+	weights    []float64 // nil until the first weighted add
 	ext2int    map[int64]VertexID
 	labels     []int64
 	maxID      VertexID
@@ -70,6 +77,17 @@ func (b *Builder) AddEdge(src, dst int64) {
 	b.hasEdges = true
 	b.srcs = append(b.srcs, b.intern(src))
 	b.dsts = append(b.dsts, b.intern(dst))
+	if b.weights != nil {
+		b.weights = append(b.weights, 1)
+	}
+}
+
+// AddEdgeWeighted adds a weighted edge between external vertex
+// identifiers. See AddEdge for the label-mode rules.
+func (b *Builder) AddEdgeWeighted(src, dst int64, w float64) {
+	b.materializeWeights()
+	b.AddEdge(src, dst)
+	b.weights[len(b.weights)-1] = w
 }
 
 // AddVertex registers an external vertex identifier even if it has no
@@ -105,11 +123,32 @@ func (b *Builder) AddEdgeID(src, dst VertexID) {
 	b.hasEdges = true
 	b.srcs = append(b.srcs, src)
 	b.dsts = append(b.dsts, dst)
+	if b.weights != nil {
+		b.weights = append(b.weights, 1)
+	}
 	if src > b.maxID {
 		b.maxID = src
 	}
 	if dst > b.maxID {
 		b.maxID = dst
+	}
+}
+
+// AddEdgeIDWeighted adds a weighted edge between dense internal IDs.
+func (b *Builder) AddEdgeIDWeighted(src, dst VertexID, w float64) {
+	b.materializeWeights()
+	b.AddEdgeID(src, dst)
+	b.weights[len(b.weights)-1] = w
+}
+
+// materializeWeights switches the builder into weighted mode, crediting
+// every previously added (unweighted) edge with weight 1.
+func (b *Builder) materializeWeights() {
+	if b.weights == nil {
+		b.weights = make([]float64, len(b.srcs), cap(b.srcs))
+		for i := range b.weights {
+			b.weights[i] = 1
+		}
 	}
 }
 
@@ -135,6 +174,11 @@ func (b *Builder) Grow(n int) {
 		dsts := make([]VertexID, len(b.dsts), len(b.dsts)+n)
 		copy(dsts, b.dsts)
 		b.dsts = dsts
+		if b.weights != nil {
+			ws := make([]float64, len(b.weights), len(b.weights)+n)
+			copy(ws, b.weights)
+			b.weights = ws
+		}
 	}
 }
 
@@ -157,16 +201,22 @@ func (b *Builder) Build() (*Graph, error) {
 		return nil, ErrEmptyGraph
 	}
 
-	srcs, dsts := b.srcs, b.dsts
+	srcs, dsts, ws := b.srcs, b.dsts, b.weights
 	if b.dropLoops {
 		k := 0
 		for i := range srcs {
 			if srcs[i] != dsts[i] {
 				srcs[k], dsts[k] = srcs[i], dsts[i]
+				if ws != nil {
+					ws[k] = ws[i]
+				}
 				k++
 			}
 		}
 		srcs, dsts = srcs[:k], dsts[:k]
+		if ws != nil {
+			ws = ws[:k]
+		}
 	}
 
 	g := &Graph{name: b.name, directed: b.directed, n: n}
@@ -175,26 +225,38 @@ func (b *Builder) Build() (*Graph, error) {
 		m := len(srcs)
 		srcs = append(srcs, dsts[:m]...)
 		dsts = append(dsts, srcs[:m]...)
+		if ws != nil {
+			ws = append(ws, ws[:m]...)
+		}
 	}
 
-	g.outIndex, g.outEdges = buildCSR(n, srcs, dsts, b.dedup || !b.directed)
+	g.outIndex, g.outEdges, g.outWeights = buildCSRW(n, srcs, dsts, ws, b.dedup || !b.directed)
 	if !b.directed {
 		g.inIndex, g.inEdges = g.outIndex, g.outEdges
+		g.inWeights = g.outWeights
 	} else if b.buildIn {
-		g.inIndex, g.inEdges = buildCSR(n, dsts, srcs, b.dedup)
+		g.inIndex, g.inEdges, g.inWeights = buildCSRW(n, dsts, srcs, ws, b.dedup)
 	}
 	if b.useLabels {
 		g.labels = b.labels
 	}
 	// Release builder storage.
-	b.srcs, b.dsts, b.ext2int = nil, nil, nil
+	b.srcs, b.dsts, b.weights, b.ext2int = nil, nil, nil, nil
 	return g, nil
 }
 
-// buildCSR builds a CSR (index, edges) pair from parallel src/dst arrays
-// using counting sort by source, then sorts each adjacency list and
-// optionally deduplicates.
+// buildCSR builds an unweighted CSR (index, edges) pair; see buildCSRW.
 func buildCSR(n int, srcs, dsts []VertexID, dedup bool) ([]int64, []VertexID) {
+	index, edges, _ := buildCSRW(n, srcs, dsts, nil, dedup)
+	return index, edges
+}
+
+// buildCSRW builds a CSR (index, edges, weights) triple from parallel
+// src/dst/weight arrays using counting sort by source, then sorts each
+// adjacency list (by target, then weight) and optionally deduplicates.
+// A nil ws builds an unweighted CSR (nil weights returned). Duplicate
+// arcs keep the smallest weight.
+func buildCSRW(n int, srcs, dsts []VertexID, ws []float64, dedup bool) ([]int64, []VertexID, []float64) {
 	index := make([]int64, n+1)
 	for _, s := range srcs {
 		index[s+1]++
@@ -203,28 +265,47 @@ func buildCSR(n int, srcs, dsts []VertexID, dedup bool) ([]int64, []VertexID) {
 		index[i+1] += index[i]
 	}
 	edges := make([]VertexID, len(srcs))
+	var weights []float64
+	if ws != nil {
+		weights = make([]float64, len(srcs))
+	}
 	cursor := make([]int64, n)
 	for i, s := range srcs {
-		edges[index[s]+cursor[s]] = dsts[i]
+		at := index[s] + cursor[s]
+		edges[at] = dsts[i]
+		if weights != nil {
+			weights[at] = ws[i]
+		}
 		cursor[s]++
 	}
 	for v := 0; v < n; v++ {
-		adj := edges[index[v]:index[v+1]]
-		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+		lo, hi := index[v], index[v+1]
+		adj := edges[lo:hi]
+		if weights == nil {
+			sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+			continue
+		}
+		wadj := weights[lo:hi]
+		sort.Sort(&edgeWeightSort{adj: adj, ws: wadj})
 	}
 	if !dedup {
-		return index, edges
+		return index, edges, weights
 	}
-	// In-place dedup per vertex, then compact.
+	// In-place dedup per vertex, then compact. Weighted duplicates keep
+	// the first (smallest) weight thanks to the (target, weight) sort.
 	w := int64(0)
 	newIndex := make([]int64, n+1)
 	for v := 0; v < n; v++ {
 		start := w
 		var last VertexID
 		first := true
-		for _, u := range edges[index[v]:index[v+1]] {
+		for i := index[v]; i < index[v+1]; i++ {
+			u := edges[i]
 			if first || u != last {
 				edges[w] = u
+				if weights != nil {
+					weights[w] = weights[i]
+				}
 				w++
 				last = u
 				first = false
@@ -234,23 +315,55 @@ func buildCSR(n int, srcs, dsts []VertexID, dedup bool) ([]int64, []VertexID) {
 	}
 	newIndex[n] = w
 	// Shift starts: newIndex currently holds start offsets; already correct.
-	return newIndex, edges[:w:w]
+	if weights != nil {
+		weights = weights[:w:w]
+	}
+	return newIndex, edges[:w:w], weights
+}
+
+// edgeWeightSort sorts an adjacency slice and its parallel weights by
+// (target, weight).
+type edgeWeightSort struct {
+	adj []VertexID
+	ws  []float64
+}
+
+func (s *edgeWeightSort) Len() int { return len(s.adj) }
+func (s *edgeWeightSort) Less(i, j int) bool {
+	if s.adj[i] != s.adj[j] {
+		return s.adj[i] < s.adj[j]
+	}
+	return s.ws[i] < s.ws[j]
+}
+func (s *edgeWeightSort) Swap(i, j int) {
+	s.adj[i], s.adj[j] = s.adj[j], s.adj[i]
+	s.ws[i], s.ws[j] = s.ws[j], s.ws[i]
 }
 
 // FromArcs builds a directed graph with reverse adjacency directly from
 // dense arc arrays, taking ownership of the slices. It is the fast path
 // used by generators. n must be at least max(id)+1.
 func FromArcs(name string, n int, srcs, dsts []VertexID, directed bool) *Graph {
+	return FromWeightedArcs(name, n, srcs, dsts, nil, directed)
+}
+
+// FromWeightedArcs is FromArcs with optional per-arc weights (nil builds
+// an unweighted graph). It takes ownership of all slices.
+func FromWeightedArcs(name string, n int, srcs, dsts []VertexID, ws []float64, directed bool) *Graph {
 	g := &Graph{name: name, directed: directed, n: n}
 	if !directed {
 		m := len(srcs)
 		srcs = append(srcs, dsts[:m]...)
 		dsts = append(dsts, srcs[:m]...)
-		g.outIndex, g.outEdges = buildCSR(n, srcs, dsts, true)
+		if ws != nil {
+			ws = append(ws, ws[:m]...)
+		}
+		g.outIndex, g.outEdges, g.outWeights = buildCSRW(n, srcs, dsts, ws, true)
 		g.inIndex, g.inEdges = g.outIndex, g.outEdges
+		g.inWeights = g.outWeights
 		return g
 	}
-	g.outIndex, g.outEdges = buildCSR(n, srcs, dsts, false)
-	g.inIndex, g.inEdges = buildCSR(n, dsts, srcs, false)
+	g.outIndex, g.outEdges, g.outWeights = buildCSRW(n, srcs, dsts, ws, false)
+	g.inIndex, g.inEdges, g.inWeights = buildCSRW(n, dsts, srcs, ws, false)
 	return g
 }

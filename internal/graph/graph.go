@@ -41,6 +41,12 @@ type Graph struct {
 	inIndex []int64
 	inEdges []VertexID
 
+	// Optional per-arc weights, parallel to outEdges/inEdges. nil means
+	// the graph is unweighted (algorithms treat every arc as weight 1).
+	// For undirected graphs inWeights aliases outWeights.
+	outWeights []float64
+	inWeights  []float64
+
 	// labels maps internal ID -> external ID. nil means identity.
 	labels []int64
 }
@@ -86,6 +92,41 @@ func (g *Graph) InDegree(v VertexID) int {
 
 // HasReverse reports whether reverse (in-) adjacency is available.
 func (g *Graph) HasReverse() bool { return g.inIndex != nil }
+
+// Weighted reports whether the graph carries per-arc weights.
+func (g *Graph) Weighted() bool { return g.outWeights != nil }
+
+// OutWeights returns the weights parallel to OutNeighbors(v), or nil if
+// the graph is unweighted. The returned slice aliases internal storage
+// and must not be modified.
+func (g *Graph) OutWeights(v VertexID) []float64 {
+	if g.outWeights == nil {
+		return nil
+	}
+	return g.outWeights[g.outIndex[v]:g.outIndex[v+1]]
+}
+
+// InWeights returns the weights parallel to InNeighbors(v), or nil if
+// the graph is unweighted. It panics if the graph was built without
+// reverse adjacency.
+func (g *Graph) InWeights(v VertexID) []float64 {
+	if g.inWeights == nil {
+		return nil
+	}
+	if g.inIndex == nil {
+		panic("graph: InWeights on a graph built without reverse adjacency")
+	}
+	return g.inWeights[g.inIndex[v]:g.inIndex[v+1]]
+}
+
+// WeightAt reads index i of a weight slice returned by OutWeights /
+// InWeights, treating a nil slice (unweighted graph) as unit weights.
+func WeightAt(ws []float64, i int) float64 {
+	if ws == nil {
+		return 1
+	}
+	return ws[i]
+}
 
 // OutNeighbors returns the sorted out-neighbors of v. The returned slice
 // aliases internal storage and must not be modified.
@@ -213,6 +254,32 @@ func (g *Graph) Edges(fn func(u, v VertexID)) {
 	})
 }
 
+// ArcsW calls fn for every stored arc with its weight (1 for unweighted
+// graphs). Iteration order matches Arcs.
+func (g *Graph) ArcsW(fn func(u, v VertexID, w float64)) {
+	for u := 0; u < g.n; u++ {
+		adj := g.OutNeighbors(VertexID(u))
+		ws := g.OutWeights(VertexID(u))
+		for i, v := range adj {
+			fn(VertexID(u), v, WeightAt(ws, i))
+		}
+	}
+}
+
+// EdgesW calls fn once per logical edge with its weight (1 for
+// unweighted graphs). Edge order matches Edges.
+func (g *Graph) EdgesW(fn func(u, v VertexID, w float64)) {
+	if g.directed {
+		g.ArcsW(fn)
+		return
+	}
+	g.ArcsW(func(u, v VertexID, w float64) {
+		if u <= v {
+			fn(u, v, w)
+		}
+	})
+}
+
 // MemoryFootprint returns an estimate of the heap bytes held by the
 // graph's CSR arrays. Used by the System Monitor and platform memory
 // budgets.
@@ -220,6 +287,12 @@ func (g *Graph) MemoryFootprint() int64 {
 	b := int64(len(g.outIndex))*8 + int64(len(g.outEdges))*4
 	if g.inIndex != nil && g.directed {
 		b += int64(len(g.inIndex))*8 + int64(len(g.inEdges))*4
+	}
+	if g.outWeights != nil {
+		b += int64(len(g.outWeights)) * 8
+		if g.directed && g.inWeights != nil {
+			b += int64(len(g.inWeights)) * 8
+		}
 	}
 	if g.labels != nil {
 		b += int64(len(g.labels)) * 8
@@ -232,6 +305,9 @@ func (g *Graph) String() string {
 	kind := "undirected"
 	if g.directed {
 		kind = "directed"
+	}
+	if g.outWeights != nil {
+		kind += ", weighted"
 	}
 	name := g.name
 	if name == "" {

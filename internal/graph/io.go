@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -13,10 +14,17 @@ import (
 // The Graphalytics on-disk format is a pair of text files:
 //
 //	<name>.v   one external vertex identifier per line
-//	<name>.e   one edge per line: "<src> <dst>" (whitespace separated)
+//	<name>.e   one edge per line: "<src> <dst> [<weight>]"
+//	           (whitespace separated)
 //
 // Lines starting with '#' or '%' are comments. The .v file is optional
 // when loading; without it, the vertex set is the set of edge endpoints.
+//
+// The optional third column is an LDBC-style float64 edge weight, used
+// by the weighted workloads (SSSP). Weight presence is auto-detected
+// from the first edge line; files mixing weighted and unweighted lines,
+// or carrying malformed or negative/non-finite weights, are rejected
+// with a line-numbered error.
 
 // LoadOptions configures graph loading.
 type LoadOptions struct {
@@ -114,14 +122,23 @@ func readVertices(r io.Reader, b *Builder) error {
 	return sc.Err()
 }
 
+// edgeReader tracks the weighted/unweighted decision made on the first
+// edge line so later lines that disagree produce a clear error.
+type edgeReader struct {
+	b        *Builder
+	decided  bool
+	weighted bool
+}
+
 func readEdges(r io.Reader, b *Builder) error {
 	br := bufio.NewReaderSize(r, 1<<20)
+	er := &edgeReader{b: b}
 	line := 0
 	for {
 		text, err := br.ReadString('\n')
 		if len(text) > 0 {
 			line++
-			if perr := parseEdgeLine(text, line, b); perr != nil {
+			if perr := er.parseEdgeLine(text, line); perr != nil {
 				return perr
 			}
 		}
@@ -134,7 +151,7 @@ func readEdges(r io.Reader, b *Builder) error {
 	}
 }
 
-func parseEdgeLine(text string, line int, b *Builder) error {
+func (er *edgeReader) parseEdgeLine(text string, line int) error {
 	s := strings.TrimSpace(text)
 	if s == "" || s[0] == '#' || s[0] == '%' {
 		return nil
@@ -143,11 +160,39 @@ func parseEdgeLine(text string, line int, b *Builder) error {
 	if !ok {
 		return fmt.Errorf("line %d: bad edge line %q", line, s)
 	}
-	dst, _, ok := cutInt(rest)
+	dst, rest, ok := cutInt(rest)
 	if !ok {
 		return fmt.Errorf("line %d: bad edge line %q", line, s)
 	}
-	b.AddEdge(src, dst)
+	rest = strings.TrimSpace(rest)
+	if !er.decided {
+		er.decided = true
+		er.weighted = rest != ""
+	}
+	if rest == "" {
+		if er.weighted {
+			return fmt.Errorf("line %d: edge %q has no weight but earlier edges are weighted", line, s)
+		}
+		er.b.AddEdge(src, dst)
+		return nil
+	}
+	if !er.weighted {
+		return fmt.Errorf("line %d: edge %q has a weight column but earlier edges do not", line, s)
+	}
+	// The weight is the first remaining field; further columns are ignored
+	// (some exports carry timestamps or properties after the weight).
+	field := rest
+	if i := strings.IndexAny(field, " \t,"); i >= 0 {
+		field = field[:i]
+	}
+	w, err := strconv.ParseFloat(field, 64)
+	if err != nil {
+		return fmt.Errorf("line %d: bad edge weight %q", line, field)
+	}
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("line %d: edge weight %v must be finite and non-negative", line, w)
+	}
+	er.b.AddEdgeWeighted(src, dst, w)
 	return nil
 }
 
@@ -183,15 +228,27 @@ func cutInt(s string) (int64, string, bool) {
 
 // WriteEdgeList writes the graph to w in .e format (one logical edge per
 // line, external labels). Undirected graphs write each edge once.
+// Weighted graphs write the weight as a third column, so weighted
+// graphs round-trip through the text format.
 func (g *Graph) WriteEdgeList(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	var err error
-	g.Edges(func(u, v VertexID) {
-		if err != nil {
-			return
-		}
-		_, err = fmt.Fprintf(bw, "%d %d\n", g.Label(u), g.Label(v))
-	})
+	if g.Weighted() {
+		g.EdgesW(func(u, v VertexID, wt float64) {
+			if err != nil {
+				return
+			}
+			_, err = fmt.Fprintf(bw, "%d %d %s\n", g.Label(u), g.Label(v),
+				strconv.FormatFloat(wt, 'g', -1, 64))
+		})
+	} else {
+		g.Edges(func(u, v VertexID) {
+			if err != nil {
+				return
+			}
+			_, err = fmt.Fprintf(bw, "%d %d\n", g.Label(u), g.Label(v))
+		})
+	}
 	if err != nil {
 		return err
 	}

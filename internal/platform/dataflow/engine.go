@@ -116,12 +116,24 @@ func (c *Ctx[M]) SendToDst(v graph.VertexID, m M) { c.deliver(v, m) }
 // SendFunc produces messages for one arc (u -> v).
 type SendFunc[VD, M any] func(c *Ctx[M], u, v graph.VertexID, du, dv VD)
 
+// SendFuncW produces messages for one arc (u -> v) with its edge weight
+// (1 on unweighted graphs) — the triplet view of a weighted property
+// graph, used by the weighted workloads (SSSP).
+type SendFuncW[VD, M any] func(c *Ctx[M], u, v graph.VertexID, w float64, du, dv VD)
+
 // AggregateMessages scans all arcs (triplet view) and returns the merged
 // message per vertex. verts is the current vertex attribute dataset;
 // vdSize and msgSize are the per-element sizes used for memory and
 // network accounting. merge must be commutative and associative (or the
 // caller must canonicalize afterwards, as the CD vote-list merge does).
 func AggregateMessages[VD, M any](env *Env, verts []VD, vdSize, msgSize int64, send SendFunc[VD, M], merge func(M, M) M) (map[graph.VertexID]M, error) {
+	return AggregateMessagesW(env, verts, vdSize, msgSize,
+		func(c *Ctx[M], u, v graph.VertexID, _ float64, du, dv VD) { send(c, u, v, du, dv) }, merge)
+}
+
+// AggregateMessagesW is AggregateMessages with edge weights exposed to
+// the send function.
+func AggregateMessagesW[VD, M any](env *Env, verts []VD, vdSize, msgSize int64, send SendFuncW[VD, M], merge func(M, M) M) (map[graph.VertexID]M, error) {
 	n := env.G.NumVertices()
 	arcs := env.G.NumArcs()
 
@@ -161,8 +173,10 @@ func AggregateMessages[VD, M any](env *Env, verts []VD, vdSize, msgSize int64, s
 			t0 := time.Now()
 			c := ctxs[p]
 			for u := lo; u < hi; u++ {
-				for _, v := range env.G.OutNeighbors(graph.VertexID(u)) {
-					send(c, graph.VertexID(u), v, verts[u], verts[v])
+				adj := env.G.OutNeighbors(graph.VertexID(u))
+				ws := env.G.OutWeights(graph.VertexID(u))
+				for i, v := range adj {
+					send(c, graph.VertexID(u), v, graph.WeightAt(ws, i), verts[u], verts[v])
 					c.edges++
 				}
 			}

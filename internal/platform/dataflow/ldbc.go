@@ -1,0 +1,200 @@
+package dataflow
+
+// The three LDBC Graphalytics workloads (PR, SSSP, LCC) over the
+// dataflow primitives, following the idioms of algorithms.go: every
+// iteration materializes a new immutable vertex dataset, the triplet
+// scan mirrors attributes into edge partitions, and the weighted scan
+// (AggregateMessagesW) exposes the edge property the way GraphX triplet
+// views carry edge attributes.
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"graphalytics/internal/algo"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/platform"
+)
+
+// ------------------------------ PR ------------------------------
+
+// runPageRank: fixed-iteration LDBC PageRank. Each iteration is one
+// aggregateMessages (rank/outdeg contributions along out-arcs) plus one
+// full dataset materialization; the dangling mass is a driver-side
+// reduction over the current rank dataset, the way a Spark driver
+// collects a scalar between iterations.
+func (l *loaded) runPageRank(ctx context.Context, env *Env, p algo.Params) (algo.PROutput, error) {
+	n := l.g.NumVertices()
+	d := p.PRDamping
+	inv := 1.0 / float64(n)
+	ranks, err := MapVertices(env, n, 8, func(graph.VertexID) float64 { return inv })
+	if err != nil {
+		return nil, err
+	}
+	for iter := 0; iter < p.PRIterations; iter++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		env.Counters.Supersteps++
+		var dangling float64
+		for v := 0; v < n; v++ {
+			if l.g.OutDegree(graph.VertexID(v)) == 0 {
+				dangling += ranks[v]
+			}
+		}
+		contribs, err := AggregateMessages(env, ranks, 8, 8,
+			func(c *Ctx[float64], u, v graph.VertexID, du, _ float64) {
+				c.SendToDst(v, du/float64(l.g.OutDegree(u)))
+			},
+			func(a, b float64) float64 { return a + b })
+		if err != nil {
+			return nil, err
+		}
+		base := (1-d)*inv + d*dangling*inv
+		ranks, err = MapVertices(env, n, 8, func(v graph.VertexID) float64 {
+			return base + d*contribs[v]
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return algo.PROutput(ranks), nil
+}
+
+// ------------------------------ SSSP ------------------------------
+
+// runSSSP: the weighted generalization of runBFS. Active vertices relax
+// their out-arcs through the weighted triplet scan; the min merge and
+// the join keep only improvements, and the loop runs to the fixpoint.
+func (l *loaded) runSSSP(ctx context.Context, env *Env, p algo.Params) (algo.SSSPOutput, error) {
+	n := l.g.NumVertices()
+	inf := math.Inf(1)
+	dists, err := MapVertices(env, n, 8, func(v graph.VertexID) float64 {
+		if v == p.Source {
+			return 0
+		}
+		return inf
+	})
+	if err != nil {
+		return nil, err
+	}
+	active := make([]bool, n)
+	if int(p.Source) < n {
+		active[p.Source] = true
+	}
+
+	for iter := 0; iter < p.MaxIterations; iter++ {
+		if err := platform.CheckContext(ctx); err != nil {
+			return nil, err
+		}
+		env.Counters.Supersteps++
+		msgs, err := AggregateMessagesW(env, dists, 8, 8,
+			func(c *Ctx[float64], u, v graph.VertexID, w float64, du, dv float64) {
+				if active[u] && du+w < dv {
+					c.SendToDst(v, du+w)
+				}
+			},
+			func(a, b float64) float64 { return math.Min(a, b) })
+		if err != nil {
+			return nil, err
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		nextActive := make([]bool, n)
+		improved := false
+		dists, err = JoinVertices(env, dists, 8, msgs, func(v graph.VertexID, d, m float64) float64 {
+			if m < d {
+				nextActive[v] = true
+				improved = true
+				return m
+			}
+			return d
+		})
+		if err != nil {
+			return nil, err
+		}
+		active = nextActive
+		if !improved {
+			break
+		}
+	}
+	return algo.SSSPOutput(dists), nil
+}
+
+// ------------------------------ LCC ------------------------------
+
+// runLCC: the per-vertex variant of runStats — the same two rounds
+// (neighborhood exchange along canonical arcs, then closed-pair counts)
+// with the final division kept per vertex instead of folded into a
+// mean.
+func (l *loaded) runLCC(ctx context.Context, env *Env, p algo.Params) (algo.LCCOutput, error) {
+	n := l.g.NumVertices()
+	// Round 1: collect neighbor IDs (both directions), dedup + sort.
+	empty, err := MapVertices(env, n, 24, func(graph.VertexID) []graph.VertexID { return nil })
+	if err != nil {
+		return nil, err
+	}
+	env.Counters.Supersteps++
+	collected, err := AggregateMessages(env, empty, 24, 24,
+		func(c *Ctx[[]graph.VertexID], u, v graph.VertexID, _, _ []graph.VertexID) {
+			c.SendToDst(v, []graph.VertexID{u})
+			c.SendToSrc(u, []graph.VertexID{v})
+		},
+		func(a, b []graph.VertexID) []graph.VertexID { return append(a, b...) })
+	if err != nil {
+		return nil, err
+	}
+	nbhBytes := int64(0)
+	nbh, err := JoinVertices(env, empty, 24, collected, func(v graph.VertexID, _ []graph.VertexID, ids []graph.VertexID) []graph.VertexID {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out := ids[:0]
+		var last graph.VertexID
+		for i, x := range ids {
+			if x == v {
+				continue
+			}
+			if i > 0 && x == last && len(out) > 0 {
+				continue
+			}
+			out = append(out, x)
+			last = x
+		}
+		nbhBytes += int64(len(out)) * 4
+		return out
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := env.allocRetained(nbhBytes); err != nil {
+		return nil, err
+	}
+
+	// Round 2: per canonical neighbor pair, exchange closed-pair counts.
+	env.Counters.Supersteps++
+	counts, err := AggregateMessages(env, nbh, 24, 8,
+		func(c *Ctx[int64], u, v graph.VertexID, nu, nv []graph.VertexID) {
+			if !CanonicalArc(l.g, u, v) {
+				return
+			}
+			if len(nv) >= 2 {
+				c.SendToDst(v, algo.CountClosedPairs(l.g.OutNeighbors(u), nv, u))
+			}
+			if len(nu) >= 2 {
+				c.SendToSrc(u, algo.CountClosedPairs(l.g.OutNeighbors(v), nu, v))
+			}
+		},
+		func(a, b int64) int64 { return a + b })
+	if err != nil {
+		return nil, err
+	}
+	lcc := make(algo.LCCOutput, n)
+	for v := 0; v < n; v++ {
+		d := float64(len(nbh[v]))
+		if d >= 2 {
+			lcc[v] = float64(counts[graph.VertexID(v)]) / (d * (d - 1))
+		}
+	}
+	return lcc, nil
+}

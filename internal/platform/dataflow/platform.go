@@ -101,6 +101,12 @@ func (l *loaded) Run(ctx context.Context, kind algo.Kind, params algo.Params) (*
 		out, err = l.runStats(ctx, env, params)
 	case algo.EVO:
 		out, err = l.runEvo(ctx, env, params)
+	case algo.PR:
+		out, err = l.runPageRank(ctx, env, params)
+	case algo.SSSP:
+		out, err = l.runSSSP(ctx, env, params)
+	case algo.LCC:
+		out, err = l.runLCC(ctx, env, params)
 	default:
 		return nil, fmt.Errorf("%w: %s on %s", platform.ErrUnsupported, kind, l.p.Name())
 	}

@@ -93,6 +93,12 @@ func (l *loaded) Run(ctx context.Context, kind algo.Kind, params algo.Params) (*
 		out, err = l.runStats(ctx)
 	case algo.EVO:
 		out, err = l.runEvo(ctx, params)
+	case algo.PR:
+		out, err = l.runPageRank(ctx, params)
+	case algo.SSSP:
+		out, err = l.runSSSP(ctx, params)
+	case algo.LCC:
+		out, err = l.runLCC(ctx)
 	default:
 		return nil, fmt.Errorf("%w: %s on %s", platform.ErrUnsupported, kind, l.p.Name())
 	}

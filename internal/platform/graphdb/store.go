@@ -42,7 +42,11 @@ type Store struct {
 	directed bool
 	nodes    []int32 // firstRel per node (-1 = none)
 	rels     []relRecord
-	cache    *pageCache
+	// weights is the relationship property store (one float64 per
+	// relationship), nil for unweighted graphs — Neo4j keeps properties
+	// in a separate store file the same way.
+	weights []float64
+	cache   *pageCache
 }
 
 // BuildStore ingests g into record stores (the ETL step).
@@ -58,7 +62,8 @@ func BuildStore(g *graph.Graph, pageCachePages int) *Store {
 	}
 	// One relationship per logical edge, appended in edge order; chains
 	// are built by prepending (Neo4j inserts at the chain head).
-	g.Edges(func(u, v graph.VertexID) {
+	weighted := g.Weighted()
+	g.EdgesW(func(u, v graph.VertexID, w float64) {
 		id := int32(len(s.rels))
 		s.rels = append(s.rels, relRecord{
 			src:     u,
@@ -66,6 +71,9 @@ func BuildStore(g *graph.Graph, pageCachePages int) *Store {
 			srcNext: s.nodes[u],
 			dstNext: s.nodes[v],
 		})
+		if weighted {
+			s.weights = append(s.weights, w)
+		}
 		s.nodes[u] = id
 		if v != u {
 			s.nodes[v] = id
@@ -74,9 +82,14 @@ func BuildStore(g *graph.Graph, pageCachePages int) *Store {
 	return s
 }
 
-// Bytes returns the store's record footprint.
+// Bytes returns the store's record footprint (including the
+// relationship property store when the graph is weighted).
 func (s *Store) Bytes() int64 {
-	return int64(len(s.nodes))*nodeRecordBytes + int64(len(s.rels))*relRecordBytes
+	b := int64(len(s.nodes))*nodeRecordBytes + int64(len(s.rels))*relRecordBytes
+	if s.weights != nil {
+		b += int64(len(s.weights)) * 8
+	}
+	return b
 }
 
 // NumNodes returns the node count.
@@ -116,6 +129,39 @@ func (s *Store) Expand(v graph.VertexID, fn func(other graph.VertexID, outgoing 
 			relID = r.dstNext
 		}
 	}
+}
+
+// ExpandW is Expand with each relationship's weight property (1 for
+// unweighted stores). Reading the property touches the property store
+// through the page cache, like Neo4j property chain loads.
+func (s *Store) ExpandW(v graph.VertexID, fn func(other graph.VertexID, w float64, outgoing bool)) {
+	for relID := s.firstRel(v); relID >= 0; {
+		r := s.rel(relID)
+		w := s.relWeight(relID)
+		switch {
+		case r.src == v && r.dst == v: // self loop
+			fn(v, w, true)
+			relID = r.srcNext
+		case r.src == v:
+			fn(r.dst, w, !s.directed || true)
+			relID = r.srcNext
+		default:
+			fn(r.src, w, !s.directed)
+			relID = r.dstNext
+		}
+	}
+}
+
+// relWeight reads relationship i's weight property through the page
+// cache (1 for unweighted stores, with no property-store access).
+func (s *Store) relWeight(i int32) float64 {
+	if s.weights == nil {
+		return 1
+	}
+	// The property store sits after the node store in the page space.
+	s.cache.touch(int64(len(s.rels))*relRecordBytes +
+		int64(len(s.nodes))*nodeRecordBytes + int64(i)*8)
+	return s.weights[i]
 }
 
 // OutNeighbors gathers v's out-neighbors (all neighbors for undirected

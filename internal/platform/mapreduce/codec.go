@@ -81,3 +81,34 @@ func readVertexList(buf []byte) ([]graph.VertexID, []byte) {
 	}
 	return out, buf
 }
+
+// appendWeightedList delta-encodes a sorted vertex list followed by its
+// parallel float64 weights (the weighted-adjacency record of SSSP). A
+// nil ws encodes unit weights compactly (a zero flag byte).
+func appendWeightedList(buf []byte, vs []graph.VertexID, ws []float64) []byte {
+	buf = appendVertexList(buf, vs)
+	if ws == nil {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	for _, w := range ws {
+		buf = appendFloat(buf, w)
+	}
+	return buf
+}
+
+// readWeightedList decodes a weighted adjacency record. ws is nil when
+// the record was written with unit weights.
+func readWeightedList(buf []byte) ([]graph.VertexID, []float64, []byte) {
+	vs, buf := readVertexList(buf)
+	flag := buf[0]
+	buf = buf[1:]
+	if flag == 0 {
+		return vs, nil, buf
+	}
+	ws := make([]float64, len(vs))
+	for i := range ws {
+		ws[i], buf = readFloat(buf)
+	}
+	return vs, ws, buf
+}

@@ -85,6 +85,12 @@ func (l *loaded) Run(ctx context.Context, kind algo.Kind, params algo.Params) (*
 		out, err = l.runStats(ctx, cluster, params)
 	case algo.EVO:
 		out, err = l.runEvo(ctx, cluster, params)
+	case algo.PR:
+		out, err = l.runPageRank(ctx, cluster, params)
+	case algo.SSSP:
+		out, err = l.runSSSP(ctx, cluster, params)
+	case algo.LCC:
+		out, err = l.runLCC(ctx, cluster, params)
 	default:
 		return nil, fmt.Errorf("%w: %s on %s", platform.ErrUnsupported, kind, l.p.Name())
 	}

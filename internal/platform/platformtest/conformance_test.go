@@ -1,0 +1,53 @@
+package platformtest
+
+import (
+	"testing"
+
+	"graphalytics/internal/platform"
+	"graphalytics/internal/platform/dataflow"
+	"graphalytics/internal/platform/graphdb"
+	"graphalytics/internal/platform/mapreduce"
+	"graphalytics/internal/platform/pregel"
+	"graphalytics/internal/workload"
+)
+
+// TestRegistryConformanceMatrix is the full conformance matrix in one
+// place: every registered workload × every platform, validated against
+// the reference under each workload's declared policy. The per-platform
+// packages run Conformance again under their own engine variants
+// (worker counts, combiners off); this test pins the default
+// configurations and fails loudly when a newly registered workload is
+// missing a platform implementation.
+func TestRegistryConformanceMatrix(t *testing.T) {
+	platforms := []platform.Platform{
+		pregel.New(pregel.Options{}),
+		mapreduce.New(mapreduce.Options{RoundOverhead: -1}),
+		dataflow.New(dataflow.Options{}),
+		graphdb.New(graphdb.Options{}),
+	}
+	for _, p := range platforms {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			t.Parallel()
+			Conformance(t, p)
+		})
+	}
+}
+
+// TestWeightedGraphReachesPlatforms asserts the conformance matrix
+// actually exercises a weighted graph — the guard that keeps the SSSP
+// runs from silently degrading to unit weights everywhere.
+func TestWeightedGraphReachesPlatforms(t *testing.T) {
+	weighted := false
+	for _, g := range Graphs(t) {
+		if g.Weighted() {
+			weighted = true
+		}
+	}
+	if !weighted {
+		t.Fatal("conformance graph matrix contains no weighted graph")
+	}
+	if len(workload.All()) < 8 {
+		t.Fatalf("workload registry has %d entries, want at least the 8 built-ins", len(workload.All()))
+	}
+}

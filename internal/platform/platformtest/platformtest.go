@@ -1,15 +1,16 @@
 // Package platformtest provides the cross-platform conformance suite:
-// every platform's output for every algorithm is checked against the
-// sequential reference implementation on a matrix of graphs. This is the
-// executable form of the Output Validator's contract — platforms must be
-// *exactly* equivalent (STATS mean LCC up to floating-point epsilon).
+// every platform's output for every *registered* workload is checked
+// against the sequential reference implementation on a matrix of
+// graphs. This is the executable form of the Output Validator's
+// contract, driven by the workload registry — registering a new
+// workload automatically adds it to every platform's conformance run,
+// under the validation policy its spec declares (exact for the
+// deterministic specifications, epsilon for the float-summing ones).
 package platformtest
 
 import (
 	"context"
-	"math"
 	"math/rand"
-	"reflect"
 	"testing"
 	"time"
 
@@ -17,21 +18,28 @@ import (
 	"graphalytics/internal/gen/datagen"
 	"graphalytics/internal/graph"
 	"graphalytics/internal/platform"
+	"graphalytics/internal/workload"
 )
 
 // Graphs returns the conformance graph matrix: directed and undirected
-// random graphs, a social-network graph, a disconnected graph, and a
-// tiny pathological graph.
+// random graphs, a social-network graph, a disconnected graph, a
+// weighted graph (exercising the weighted workloads beyond unit
+// weights), and a tiny pathological graph.
 func Graphs(tb testing.TB) []*graph.Graph {
 	tb.Helper()
 	var out []*graph.Graph
 
-	rnd := func(name string, n, m int, seed int64, directed bool) *graph.Graph {
+	rnd := func(name string, n, m int, seed int64, directed, weighted bool) *graph.Graph {
 		r := rand.New(rand.NewSource(seed))
 		b := graph.NewBuilder(graph.Directed(directed), graph.Dedup(), graph.DropSelfLoops(), graph.WithReverse(), graph.WithName(name))
 		b.SetNumVertices(n)
 		for i := 0; i < m; i++ {
-			b.AddEdgeID(graph.VertexID(r.Intn(n)), graph.VertexID(r.Intn(n)))
+			u, v := graph.VertexID(r.Intn(n)), graph.VertexID(r.Intn(n))
+			if weighted {
+				b.AddEdgeIDWeighted(u, v, 0.25+r.Float64())
+			} else {
+				b.AddEdgeID(u, v)
+			}
 		}
 		g, err := b.Build()
 		if err != nil {
@@ -41,10 +49,11 @@ func Graphs(tb testing.TB) []*graph.Graph {
 	}
 
 	out = append(out,
-		rnd("rand-directed", 300, 1500, 1, true),
-		rnd("rand-undirected", 300, 1200, 2, false),
-		rnd("rand-sparse-disconnected", 400, 220, 3, true),
-		rnd("tiny", 8, 12, 4, false),
+		rnd("rand-directed", 300, 1500, 1, true, false),
+		rnd("rand-undirected", 300, 1200, 2, false, false),
+		rnd("rand-sparse-disconnected", 400, 220, 3, true, false),
+		rnd("rand-weighted", 300, 1400, 5, true, true),
+		rnd("tiny", 8, 12, 4, false, false),
 	)
 	sn, err := datagen.Generate(datagen.Config{Persons: 500, Seed: 77, Name: "social"})
 	if err != nil {
@@ -54,10 +63,11 @@ func Graphs(tb testing.TB) []*graph.Graph {
 	return out
 }
 
-// Conformance runs every algorithm of p on every conformance graph and
-// fails the test on any mismatch with the reference implementation.
+// Conformance runs every registered workload of p on every conformance
+// graph and fails the test on any output its spec's validator rejects.
 func Conformance(t *testing.T, p platform.Platform) {
 	t.Helper()
+	specs := workload.All()
 	for _, g := range Graphs(t) {
 		g := g
 		t.Run(g.Name(), func(t *testing.T) {
@@ -71,87 +81,21 @@ func Conformance(t *testing.T, p platform.Platform) {
 
 			params := algo.Params{Source: 0, Seed: 99, EvoNewVertices: 6}.WithDefaults(g.NumVertices())
 
-			t.Run("BFS", func(t *testing.T) {
-				res, err := loaded.Run(ctx, algo.BFS, params)
-				if err != nil {
-					t.Fatal(err)
-				}
-				want := algo.RunBFS(g, params.Source)
-				got, ok := res.Output.(algo.BFSOutput)
-				if !ok {
-					t.Fatalf("output type %T", res.Output)
-				}
-				if !reflect.DeepEqual(got, want) {
-					t.Fatalf("BFS mismatch:\n got %v\nwant %v", head(got), head(want))
-				}
-			})
-
-			t.Run("CONN", func(t *testing.T) {
-				res, err := loaded.Run(ctx, algo.CONN, params)
-				if err != nil {
-					t.Fatal(err)
-				}
-				want := algo.RunConn(g)
-				got, ok := res.Output.(algo.ConnOutput)
-				if !ok {
-					t.Fatalf("output type %T", res.Output)
-				}
-				if !reflect.DeepEqual(got, want) {
-					t.Fatalf("CONN mismatch:\n got %v\nwant %v", head(got), head(want))
-				}
-			})
-
-			t.Run("CD", func(t *testing.T) {
-				res, err := loaded.Run(ctx, algo.CD, params)
-				if err != nil {
-					t.Fatal(err)
-				}
-				want := algo.RunCD(g, params)
-				got, ok := res.Output.(algo.CDOutput)
-				if !ok {
-					t.Fatalf("output type %T", res.Output)
-				}
-				if !reflect.DeepEqual(got, want) {
-					t.Fatalf("CD mismatch:\n got %v\nwant %v", head(got), head(want))
-				}
-			})
-
-			t.Run("STATS", func(t *testing.T) {
-				res, err := loaded.Run(ctx, algo.STATS, params)
-				if err != nil {
-					t.Fatal(err)
-				}
-				want := algo.RunStats(g)
-				got, ok := res.Output.(algo.StatsOutput)
-				if !ok {
-					t.Fatalf("output type %T", res.Output)
-				}
-				if got.Vertices != want.Vertices || got.Edges != want.Edges {
-					t.Fatalf("STATS size mismatch: got %+v want %+v", got, want)
-				}
-				if math.Abs(got.MeanLCC-want.MeanLCC) > 1e-9 {
-					t.Fatalf("MeanLCC = %.12f, want %.12f", got.MeanLCC, want.MeanLCC)
-				}
-			})
-
-			t.Run("EVO", func(t *testing.T) {
-				res, err := loaded.Run(ctx, algo.EVO, params)
-				if err != nil {
-					t.Fatal(err)
-				}
-				want := algo.RunEvo(g, params)
-				got, ok := res.Output.(algo.EvoOutput)
-				if !ok {
-					t.Fatalf("output type %T", res.Output)
-				}
-				if got.NewVertices != want.NewVertices {
-					t.Fatalf("NewVertices = %d, want %d", got.NewVertices, want.NewVertices)
-				}
-				if !reflect.DeepEqual(got.Edges, want.Edges) {
-					t.Fatalf("EVO edges mismatch:\n got %v (%d)\nwant %v (%d)",
-						headE(got.Edges), len(got.Edges), headE(want.Edges), len(want.Edges))
-				}
-			})
+			for _, spec := range specs {
+				spec := spec
+				t.Run(spec.Name(), func(t *testing.T) {
+					if err := spec.Supports(g); err != nil {
+						t.Skipf("unsupported: %v", err)
+					}
+					res, err := loaded.Run(ctx, spec.Kind, params)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if v := spec.Validate(g, params, res.Output); !v.Valid {
+						t.Fatalf("%s output rejected (%s policy): %s", spec.Kind, spec.Policy, v.Detail)
+					}
+				})
+			}
 		})
 	}
 }
@@ -177,18 +121,4 @@ func CountersPopulated(t *testing.T, p platform.Platform) {
 	if c.Messages == 0 || c.MessageBytes == 0 {
 		t.Errorf("message counters not populated: %+v", c)
 	}
-}
-
-func head[T any](s []T) []T {
-	if len(s) > 12 {
-		return s[:12]
-	}
-	return s
-}
-
-func headE(s [][2]graph.VertexID) [][2]graph.VertexID {
-	if len(s) > 12 {
-		return s[:12]
-	}
-	return s
 }

@@ -1,0 +1,185 @@
+package pregel
+
+// The three LDBC Graphalytics workloads (PR, SSSP, LCC) as vertex
+// programs, following the same engine idioms as the paper's five in
+// algorithms.go: shared kernels from internal/algo where outputs must
+// match the reference, combiners where messages fold, and aggregators
+// for the global quantities (PageRank's dangling mass).
+
+import (
+	"context"
+	"math"
+
+	"graphalytics/internal/algo"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/platform"
+)
+
+// ------------------------------ PR ------------------------------
+
+// runPageRank runs the fixed-iteration LDBC PageRank. Every vertex
+// stays active for the whole run (each iteration rebases on the global
+// dangling mass, so even message-less vertices recompute): superstep 0
+// initializes and scatters, supersteps 1..T update. The dangling mass
+// of iteration t reaches iteration t+1 through the "dangling"
+// aggregator; the sum combiner folds rank contributions sender-side.
+func (l *loaded) runPageRank(ctx context.Context, p algo.Params) (*platform.Result, error) {
+	n := l.g.NumVertices()
+	counters := &platform.Counters{}
+	ranks := make(algo.PROutput, n)
+	if err := l.mem.Alloc(int64(n) * 8); err != nil {
+		return nil, err
+	}
+	defer l.mem.Free(int64(n) * 8)
+
+	d := p.PRDamping
+	inv := 1.0 / float64(n)
+	e := newEngine[float64](l, counters, func(float64) int64 { return 8 },
+		func(a, b float64) float64 { return a + b })
+	e.AggMerge = map[string]func(a, b any) any{
+		"dangling": func(a, b any) any { return a.(float64) + b.(float64) },
+	}
+	scatter := func(c *VCtx[float64], v graph.VertexID) {
+		if deg := l.g.OutDegree(v); deg > 0 {
+			c.SendToOutNeighbors(v, d*ranks[v]/float64(deg))
+		} else {
+			c.Aggregate("dangling", ranks[v])
+		}
+	}
+	compute := func(c *VCtx[float64], v graph.VertexID, msgs []float64) {
+		step := c.Superstep()
+		if step == 0 {
+			ranks[v] = inv
+			scatter(c, v)
+			return
+		}
+		var sum float64
+		for _, m := range msgs {
+			sum += m
+		}
+		dangling, _ := c.AggValue("dangling").(float64)
+		ranks[v] = (1-d)*inv + d*dangling*inv + sum
+		if step < p.PRIterations {
+			scatter(c, v)
+		} else {
+			c.VoteToHalt(v)
+		}
+	}
+	master := func(step int, agg map[string]any) (map[string]any, bool) {
+		return nil, step >= p.PRIterations
+	}
+	if err := e.Run(ctx, compute, master); err != nil {
+		return nil, err
+	}
+	return &platform.Result{Output: ranks, Counters: *counters}, nil
+}
+
+// ------------------------------ SSSP ------------------------------
+
+// runSSSP is label-correcting shortest paths: the source seeds distance
+// 0 and every improvement propagates dist+w along out-edges until the
+// global fixpoint — the weighted generalization of the BFS frontier.
+// The min combiner collapses candidate distances sender-side.
+func (l *loaded) runSSSP(ctx context.Context, p algo.Params) (*platform.Result, error) {
+	n := l.g.NumVertices()
+	counters := &platform.Counters{}
+	dist := make(algo.SSSPOutput, n)
+	inf := math.Inf(1)
+	for i := range dist {
+		dist[i] = inf
+	}
+	if err := l.mem.Alloc(int64(n) * 8); err != nil {
+		return nil, err
+	}
+	defer l.mem.Free(int64(n) * 8)
+
+	e := newEngine[float64](l, counters, func(float64) int64 { return 8 },
+		func(a, b float64) float64 { return math.Min(a, b) })
+	relax := func(c *VCtx[float64], v graph.VertexID) {
+		adj := l.g.OutNeighbors(v)
+		ws := l.g.OutWeights(v)
+		for i, u := range adj {
+			c.Send(u, dist[v]+graph.WeightAt(ws, i))
+		}
+		c.CountEdges(int64(len(adj)))
+	}
+	compute := func(c *VCtx[float64], v graph.VertexID, msgs []float64) {
+		if c.Superstep() == 0 {
+			if v == p.Source {
+				dist[v] = 0
+				relax(c, v)
+			}
+			c.VoteToHalt(v)
+			return
+		}
+		best := dist[v]
+		for _, m := range msgs {
+			if m < best {
+				best = m
+			}
+		}
+		if best < dist[v] {
+			dist[v] = best
+			relax(c, v)
+		}
+		c.VoteToHalt(v)
+	}
+	if err := e.Run(ctx, compute, nil); err != nil {
+		return nil, err
+	}
+	return &platform.Result{Output: dist, Counters: *counters}, nil
+}
+
+// ------------------------------ LCC ------------------------------
+
+// runLCC is the per-vertex variant of runStats: the same two-superstep
+// neighborhood exchange (announce N(v), reply with closed-pair counts),
+// but every vertex keeps its own coefficient instead of folding into a
+// mean aggregator. It shares statsMsg and the CountClosedPairs kernel,
+// so numerators match the reference bit-for-bit.
+func (l *loaded) runLCC(ctx context.Context, p algo.Params) (*platform.Result, error) {
+	n := l.g.NumVertices()
+	counters := &platform.Counters{}
+	lcc := make(algo.LCCOutput, n)
+	if err := l.mem.Alloc(int64(n) * 8); err != nil {
+		return nil, err
+	}
+	defer l.mem.Free(int64(n) * 8)
+
+	e := newEngine[statsMsg](l, counters, statsMsgBytes, nil)
+	compute := func(c *VCtx[statsMsg], v graph.VertexID, msgs []statsMsg) {
+		switch c.Superstep() {
+		case 0:
+			nbh := l.g.Neighborhood(v, nil)
+			if len(nbh) >= 2 {
+				for _, u := range nbh {
+					c.Send(u, statsMsg{from: v, nbh: nbh})
+				}
+				c.CountEdges(int64(len(nbh)))
+			}
+		case 1:
+			out := l.g.OutNeighbors(v)
+			for _, m := range msgs {
+				cnt := algo.CountClosedPairs(out, m.nbh, v)
+				c.Send(m.from, statsMsg{from: v, count: cnt, reply: true})
+			}
+			c.VoteToHalt(v)
+		case 2:
+			var sum int64
+			for _, m := range msgs {
+				sum += m.count
+			}
+			d := float64(len(l.g.Neighborhood(v, nil)))
+			if d >= 2 {
+				lcc[v] = float64(sum) / (d * (d - 1))
+			}
+			c.VoteToHalt(v)
+		default:
+			c.VoteToHalt(v)
+		}
+	}
+	if err := e.Run(ctx, compute, nil); err != nil {
+		return nil, err
+	}
+	return &platform.Result{Output: lcc, Counters: *counters}, nil
+}

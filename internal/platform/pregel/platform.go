@@ -93,6 +93,12 @@ func (l *loaded) Run(ctx context.Context, kind algo.Kind, params algo.Params) (*
 		res, err = l.runStats(ctx, params)
 	case algo.EVO:
 		res, err = l.runEvo(ctx, params)
+	case algo.PR:
+		res, err = l.runPageRank(ctx, params)
+	case algo.SSSP:
+		res, err = l.runSSSP(ctx, params)
+	case algo.LCC:
+		res, err = l.runLCC(ctx, params)
 	default:
 		return nil, fmt.Errorf("%w: %s on %s", platform.ErrUnsupported, kind, l.p.Name())
 	}

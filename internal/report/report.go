@@ -22,6 +22,7 @@ import (
 	"graphalytics/internal/monitor"
 	"graphalytics/internal/platform"
 	"graphalytics/internal/validation"
+	"graphalytics/internal/workload"
 )
 
 // Status classifies one benchmark run.
@@ -92,6 +93,25 @@ func formatSeconds(d time.Duration) string {
 	}
 }
 
+// kindsOf returns the workload rows to render: every registered
+// workload in registry order, then any kinds present in the results but
+// unknown to the registry (first-seen order), so external results still
+// render. Report row order is registry-driven, not hardcoded.
+func kindsOf(results []RunResult) []algo.Kind {
+	out := workload.Kinds()
+	known := make(map[algo.Kind]bool, len(out))
+	for _, k := range out {
+		known[k] = true
+	}
+	for _, r := range results {
+		if !known[r.Algorithm] {
+			known[r.Algorithm] = true
+			out = append(out, r.Algorithm)
+		}
+	}
+	return out
+}
+
 // graphsOf returns the distinct graph names in first-seen order.
 func graphsOf(results []RunResult) []string {
 	var out []string
@@ -127,6 +147,7 @@ func Figure4Table(results []RunResult) string {
 	for _, r := range results {
 		cell[r.Graph+"|"+string(r.Algorithm)+"|"+r.Platform] = r
 	}
+	kinds := kindsOf(results)
 	for _, g := range graphsOf(results) {
 		fmt.Fprintf(&b, "=== %s ===\n", g)
 		fmt.Fprintf(&b, "%-8s", "")
@@ -134,7 +155,7 @@ func Figure4Table(results []RunResult) string {
 			fmt.Fprintf(&b, "%16s", p)
 		}
 		b.WriteString("\n")
-		for _, a := range algo.Kinds {
+		for _, a := range kinds {
 			row := false
 			for _, p := range platforms {
 				if _, okC := cell[g+"|"+string(a)+"|"+p]; okC {
@@ -161,15 +182,24 @@ func Figure4Table(results []RunResult) string {
 
 // Figure5Table renders the CONN kTEPS matrix in the shape of Figure 5.
 func Figure5Table(results []RunResult) string {
+	return KTEPSTable(results, algo.CONN)
+}
+
+// KTEPSTable renders the kTEPS (|E| / runtime / 1000) matrix of one
+// workload in the shape of Figure 5. For weighted workloads (SSSP) the
+// metric is the weighted-graph edge throughput: the edge count is the
+// loaded (weighted) graph's |E|, so weighted and unweighted campaigns
+// stay comparable per edge.
+func KTEPSTable(results []RunResult, kind algo.Kind) string {
 	var b strings.Builder
 	platforms := platformsOf(results)
 	cell := map[string]RunResult{}
 	for _, r := range results {
-		if r.Algorithm == algo.CONN {
+		if r.Algorithm == kind {
 			cell[r.Graph+"|"+r.Platform] = r
 		}
 	}
-	fmt.Fprintf(&b, "CONN kTEPS (|E| / runtime / 1000)\n")
+	fmt.Fprintf(&b, "%s kTEPS (|E| / runtime / 1000)\n", kind)
 	fmt.Fprintf(&b, "%-16s", "graph")
 	for _, p := range platforms {
 		fmt.Fprintf(&b, "%16s", p)

@@ -3,29 +3,35 @@
 // benchmark to ensure correctness" by comparing every platform result
 // against the sequential reference implementation.
 //
-// Validation rules per algorithm:
+// The package provides the per-workload validators and the three
+// comparison policies the workload registry (internal/workload) binds
+// them with:
 //
-//   - STATS: vertex and edge counts must match exactly; the mean local
-//     clustering coefficient must match within epsilon (different
-//     platforms sum per-vertex LCC values in different orders).
-//   - BFS: depths must match exactly.
-//   - CONN: labels must match exactly (the specification fixes labels to
-//     component minima, so equivalence-up-to-relabeling is not needed).
-//   - CD: labels must match the reference exactly (the deterministic
-//     Leung specification), and additionally the labeling must be a
-//     structurally valid partition whose modularity matches.
-//   - EVO: the new edge set must match exactly (deterministic fires).
+//   - exact: every element must match bit-identically (BFS, CONN, CD,
+//     EVO, SSSP — their specifications are deterministic across
+//     platforms);
+//   - epsilon: float vectors must match within a per-element tolerance
+//     (PR, LCC, STATS MeanLCC — platforms sum floats in different
+//     orders);
+//   - rank-tolerant: the ordering induced by a float vector must match
+//     up to ties within a tolerance (a looser PR acceptance criterion,
+//     checked in addition to epsilon).
+//
+// Dispatch from an algo.Kind to its validator lives in the workload
+// registry, not here, so adding a workload does not edit this package.
 package validation
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"graphalytics/internal/algo"
 	"graphalytics/internal/graph"
 )
 
-// Epsilon is the floating-point tolerance for STATS MeanLCC.
+// Epsilon is the floating-point tolerance for STATS MeanLCC, per-vertex
+// LCC, and PageRank values.
 const Epsilon = 1e-9
 
 // Result is one validation outcome.
@@ -40,44 +46,81 @@ func fail(format string, args ...any) Result {
 	return Result{Valid: false, Detail: fmt.Sprintf(format, args...)}
 }
 
-// Validate checks output (a platform result) for algorithm kind on g
-// against the reference implementation run with params.
-func Validate(g *graph.Graph, kind algo.Kind, params algo.Params, output any) Result {
-	params = params.WithDefaults(g.NumVertices())
-	switch kind {
-	case algo.STATS:
-		got, okT := output.(algo.StatsOutput)
-		if !okT {
-			return fail("STATS output has type %T", output)
-		}
-		return ValidateStats(g, got)
-	case algo.BFS:
-		got, okT := output.(algo.BFSOutput)
-		if !okT {
-			return fail("BFS output has type %T", output)
-		}
-		return ValidateBFS(g, params.Source, got)
-	case algo.CONN:
-		got, okT := output.(algo.ConnOutput)
-		if !okT {
-			return fail("CONN output has type %T", output)
-		}
-		return ValidateConn(g, got)
-	case algo.CD:
-		got, okT := output.(algo.CDOutput)
-		if !okT {
-			return fail("CD output has type %T", output)
-		}
-		return ValidateCD(g, params, got)
-	case algo.EVO:
-		got, okT := output.(algo.EvoOutput)
-		if !okT {
-			return fail("EVO output has type %T", output)
-		}
-		return ValidateEvo(g, params, got)
-	default:
-		return fail("unknown algorithm %s", kind)
+// Fail builds an invalid Result with a formatted detail message. It is
+// exported for the workload registry's own dispatch errors.
+func Fail(format string, args ...any) Result { return fail(format, args...) }
+
+// ---------------------------------------------------------------------
+// Comparison policies.
+
+// ExactFloats compares two float vectors element-wise for bit equality
+// (+Inf equals +Inf). It is the policy for SSSP distances, which are
+// deterministic path sums.
+func ExactFloats(got, want []float64) Result {
+	if len(got) != len(want) {
+		return fail("output has %d entries, want %d", len(got), len(want))
 	}
+	for i := range want {
+		if got[i] != want[i] && !(math.IsInf(got[i], 1) && math.IsInf(want[i], 1)) {
+			return fail("vertex %d: value %v, want %v", i, got[i], want[i])
+		}
+	}
+	return ok()
+}
+
+// EpsilonFloats compares two float vectors element-wise within an
+// absolute tolerance eps (+Inf matches +Inf). NaN never validates:
+// a NaN comparison is false both ways, so without the explicit check a
+// broken platform emitting NaN would slip through.
+func EpsilonFloats(got, want []float64, eps float64) Result {
+	if len(got) != len(want) {
+		return fail("output has %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.IsNaN(got[i]) {
+			return fail("vertex %d: value NaN", i)
+		}
+		if math.IsInf(want[i], 1) {
+			if !math.IsInf(got[i], 1) {
+				return fail("vertex %d: value %v, want +Inf", i, got[i])
+			}
+			continue
+		}
+		if math.Abs(got[i]-want[i]) > eps {
+			return fail("vertex %d: value %.12g, want %.12g (|Δ| > %g)", i, got[i], want[i], eps)
+		}
+	}
+	return ok()
+}
+
+// RankTolerant checks that the descending ordering induced by got is
+// consistent with want up to ties within eps: walking got's order, each
+// next reference value may exceed its predecessor's by at most eps.
+// It accepts any permutation among near-equal values while rejecting
+// genuine rank inversions — the tolerant acceptance criterion for
+// ranking workloads like PageRank.
+func RankTolerant(got, want []float64, eps float64) Result {
+	if len(got) != len(want) {
+		return fail("output has %d entries, want %d", len(got), len(want))
+	}
+	idx := make([]int, len(got))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if got[idx[a]] != got[idx[b]] {
+			return got[idx[a]] > got[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	for k := 0; k+1 < len(idx); k++ {
+		hi, lo := idx[k], idx[k+1]
+		if want[lo] > want[hi]+eps {
+			return fail("rank inversion: vertex %d (ref %.12g) ordered above vertex %d (ref %.12g)",
+				hi, want[hi], lo, want[lo])
+		}
+	}
+	return ok()
 }
 
 // ValidateStats checks a STATS output.
@@ -171,4 +214,49 @@ func ValidateEvo(g *graph.Graph, params algo.Params, got algo.EvoOutput) Result 
 		}
 	}
 	return ok()
+}
+
+// ValidatePageRank checks a PR output: structural sanity (ranks sum to
+// 1), per-vertex epsilon agreement with the reference, and rank-order
+// consistency.
+func ValidatePageRank(g *graph.Graph, params algo.Params, got algo.PROutput) Result {
+	if len(got) != g.NumVertices() {
+		return fail("output has %d entries, want %d", len(got), g.NumVertices())
+	}
+	var sum float64
+	for _, r := range got {
+		sum += r
+	}
+	if g.NumVertices() > 0 && math.Abs(sum-1) > 1e-6 {
+		return fail("ranks sum to %.9f, want 1", sum)
+	}
+	want := algo.RunPageRank(g, params)
+	if r := EpsilonFloats(got, want, Epsilon); !r.Valid {
+		return r
+	}
+	return RankTolerant(got, want, Epsilon)
+}
+
+// ValidateSSSP checks an SSSP output: exact distance agreement with the
+// Dijkstra reference (distances are deterministic path sums; see
+// algo.RunSSSP).
+func ValidateSSSP(g *graph.Graph, source graph.VertexID, got algo.SSSPOutput) Result {
+	if len(got) != g.NumVertices() {
+		return fail("output has %d entries, want %d", len(got), g.NumVertices())
+	}
+	return ExactFloats(got, algo.RunSSSP(g, source))
+}
+
+// ValidateLCC checks an LCC output: per-vertex agreement with the
+// reference within epsilon, and every coefficient in [0, 1].
+func ValidateLCC(g *graph.Graph, got algo.LCCOutput) Result {
+	if len(got) != g.NumVertices() {
+		return fail("output has %d entries, want %d", len(got), g.NumVertices())
+	}
+	for v, c := range got {
+		if c < 0 || c > 1 || math.IsNaN(c) {
+			return fail("vertex %d: LCC %v outside [0, 1]", v, c)
+		}
+	}
+	return EpsilonFloats(got, algo.RunLCC(g), Epsilon)
 }

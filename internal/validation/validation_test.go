@@ -1,6 +1,7 @@
 package validation
 
 import (
+	"math"
 	"testing"
 
 	"graphalytics/internal/algo"
@@ -22,31 +23,98 @@ func TestValidReferenceOutputs(t *testing.T) {
 	params := algo.Params{Source: 0, Seed: 5}.WithDefaults(g.NumVertices())
 	cases := []struct {
 		kind algo.Kind
-		out  any
+		res  Result
 	}{
-		{algo.STATS, algo.RunStats(g)},
-		{algo.BFS, algo.RunBFS(g, 0)},
-		{algo.CONN, algo.RunConn(g)},
-		{algo.CD, algo.RunCD(g, params)},
-		{algo.EVO, algo.RunEvo(g, params)},
+		{algo.STATS, ValidateStats(g, algo.RunStats(g))},
+		{algo.BFS, ValidateBFS(g, 0, algo.RunBFS(g, 0))},
+		{algo.CONN, ValidateConn(g, algo.RunConn(g))},
+		{algo.CD, ValidateCD(g, params, algo.RunCD(g, params))},
+		{algo.EVO, ValidateEvo(g, params, algo.RunEvo(g, params))},
+		{algo.PR, ValidatePageRank(g, params, algo.RunPageRank(g, params))},
+		{algo.SSSP, ValidateSSSP(g, 0, algo.RunSSSP(g, 0))},
+		{algo.LCC, ValidateLCC(g, algo.RunLCC(g))},
 	}
 	for _, c := range cases {
-		if r := Validate(g, c.kind, params, c.out); !r.Valid {
-			t.Errorf("%s: reference output rejected: %s", c.kind, r.Detail)
+		if !c.res.Valid {
+			t.Errorf("%s: reference output rejected: %s", c.kind, c.res.Detail)
 		}
 	}
 }
 
-func TestWrongTypeRejected(t *testing.T) {
+func TestPageRankRejections(t *testing.T) {
 	g := testGraph(t)
-	params := algo.Params{}
-	for _, k := range algo.Kinds {
-		if r := Validate(g, k, params, "bogus"); r.Valid {
-			t.Errorf("%s: wrong output type accepted", k)
-		}
+	params := algo.Params{}.WithDefaults(g.NumVertices())
+	want := algo.RunPageRank(g, params)
+
+	bad := make(algo.PROutput, len(want))
+	copy(bad, want)
+	bad[0] += 1e-3
+	if r := ValidatePageRank(g, params, bad); r.Valid {
+		t.Error("perturbed rank accepted")
 	}
-	if r := Validate(g, algo.Kind("XX"), params, nil); r.Valid {
-		t.Error("unknown kind accepted")
+	// Noise within epsilon is fine.
+	near := make(algo.PROutput, len(want))
+	copy(near, want)
+	near[0] += 1e-13
+	if r := ValidatePageRank(g, params, near); !r.Valid {
+		t.Errorf("epsilon-close ranks rejected: %s", r.Detail)
+	}
+	if r := ValidatePageRank(g, params, want[:len(want)-1]); r.Valid {
+		t.Error("truncated output accepted")
+	}
+	// NaN must never validate — NaN comparisons are false both ways, so
+	// epsilon checks alone would let an all-NaN output through.
+	nan := make(algo.PROutput, len(want))
+	for i := range nan {
+		nan[i] = math.NaN()
+	}
+	if r := ValidatePageRank(g, params, nan); r.Valid {
+		t.Error("all-NaN ranks accepted")
+	}
+}
+
+func TestSSSPRejections(t *testing.T) {
+	g := testGraph(t)
+	want := algo.RunSSSP(g, 0)
+	bad := make(algo.SSSPOutput, len(want))
+	copy(bad, want)
+	bad[len(bad)/2] += 0.5
+	if r := ValidateSSSP(g, 0, bad); r.Valid {
+		t.Error("corrupted distance accepted")
+	}
+	if r := ValidateSSSP(g, 0, want[:len(want)-1]); r.Valid {
+		t.Error("truncated output accepted")
+	}
+}
+
+func TestLCCRejections(t *testing.T) {
+	g := testGraph(t)
+	want := algo.RunLCC(g)
+	bad := make(algo.LCCOutput, len(want))
+	copy(bad, want)
+	bad[0] = 1.5 // outside [0, 1]
+	if r := ValidateLCC(g, bad); r.Valid {
+		t.Error("out-of-range coefficient accepted")
+	}
+	copy(bad, want)
+	bad[1] += 0.01
+	if r := ValidateLCC(g, bad); r.Valid {
+		t.Error("perturbed coefficient accepted")
+	}
+}
+
+func TestRankTolerantPolicy(t *testing.T) {
+	want := []float64{0.5, 0.3, 0.1, 0.1}
+	// Swapping the tied pair is fine.
+	if r := RankTolerant([]float64{0.5, 0.3, 0.0999, 0.1001}, want, 1e-2); !r.Valid {
+		t.Errorf("tie swap rejected: %s", r.Detail)
+	}
+	// A genuine inversion is not.
+	if r := RankTolerant([]float64{0.3, 0.5, 0.1, 0.1}, want, 1e-2); r.Valid {
+		t.Error("rank inversion accepted")
+	}
+	if r := RankTolerant([]float64{1}, []float64{1, 2}, 0); r.Valid {
+		t.Error("length mismatch accepted")
 	}
 }
 

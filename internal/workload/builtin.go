@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"graphalytics/internal/algo"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/validation"
+)
+
+// The built-in workload suite: the source paper's five algorithms in
+// its reporting order, then the three LDBC Graphalytics v1.0.1
+// additions. Registration order is the report row order.
+//
+// Aliases follow the LDBC naming: WCC for CONN, CDLP for CD, PAGERANK
+// for PR. Each Validate asserts its output type before delegating to
+// the typed validator, so a platform returning the wrong type is an
+// invalid result, not a panic.
+func init() {
+	Register(Spec{
+		Kind:        algo.BFS,
+		Description: "breadth-first search depths from a seed vertex",
+		Policy:      PolicyExact,
+		Reference: func(g *graph.Graph, p algo.Params) any {
+			return algo.RunBFS(g, p.Source)
+		},
+		Validate: func(g *graph.Graph, p algo.Params, output any) validation.Result {
+			got, okT := output.(algo.BFSOutput)
+			if !okT {
+				return validation.Fail("BFS output has type %T", output)
+			}
+			return validation.ValidateBFS(g, p.Source, got)
+		},
+	})
+	Register(Spec{
+		Kind:         algo.CD,
+		Aliases:      []string{"CDLP"},
+		Description:  "community detection by Leung label propagation",
+		Policy:       PolicyExact,
+		NeedsReverse: true,
+		Reference: func(g *graph.Graph, p algo.Params) any {
+			return algo.RunCD(g, p)
+		},
+		Validate: func(g *graph.Graph, p algo.Params, output any) validation.Result {
+			got, okT := output.(algo.CDOutput)
+			if !okT {
+				return validation.Fail("CD output has type %T", output)
+			}
+			return validation.ValidateCD(g, p, got)
+		},
+	})
+	Register(Spec{
+		Kind:         algo.CONN,
+		Aliases:      []string{"WCC"},
+		Description:  "connected components (weak, labels = component minima)",
+		Policy:       PolicyExact,
+		NeedsReverse: true,
+		Reference: func(g *graph.Graph, p algo.Params) any {
+			return algo.RunConn(g)
+		},
+		Validate: func(g *graph.Graph, p algo.Params, output any) validation.Result {
+			got, okT := output.(algo.ConnOutput)
+			if !okT {
+				return validation.Fail("CONN output has type %T", output)
+			}
+			return validation.ValidateConn(g, got)
+		},
+	})
+	Register(Spec{
+		Kind:         algo.EVO,
+		Description:  "forest-fire graph evolution prediction",
+		Policy:       PolicyExact,
+		NeedsReverse: true,
+		Reference: func(g *graph.Graph, p algo.Params) any {
+			return algo.RunEvo(g, p)
+		},
+		Validate: func(g *graph.Graph, p algo.Params, output any) validation.Result {
+			got, okT := output.(algo.EvoOutput)
+			if !okT {
+				return validation.Fail("EVO output has type %T", output)
+			}
+			return validation.ValidateEvo(g, p, got)
+		},
+	})
+	Register(Spec{
+		Kind:         algo.STATS,
+		Description:  "vertex/edge counts and mean local clustering coefficient",
+		Policy:       PolicyEpsilon,
+		NeedsReverse: true,
+		Reference: func(g *graph.Graph, p algo.Params) any {
+			return algo.RunStats(g)
+		},
+		Validate: func(g *graph.Graph, p algo.Params, output any) validation.Result {
+			got, okT := output.(algo.StatsOutput)
+			if !okT {
+				return validation.Fail("STATS output has type %T", output)
+			}
+			return validation.ValidateStats(g, got)
+		},
+	})
+	Register(Spec{
+		Kind:        algo.PR,
+		Aliases:     []string{"PAGERANK"},
+		Description: "PageRank, damping 0.85, fixed iteration count",
+		Policy:      PolicyEpsilon,
+		Reference: func(g *graph.Graph, p algo.Params) any {
+			return algo.RunPageRank(g, p)
+		},
+		Validate: func(g *graph.Graph, p algo.Params, output any) validation.Result {
+			got, okT := output.(algo.PROutput)
+			if !okT {
+				return validation.Fail("PR output has type %T", output)
+			}
+			return validation.ValidatePageRank(g, p, got)
+		},
+	})
+	Register(Spec{
+		Kind:         algo.SSSP,
+		Description:  "single-source shortest paths over float64 edge weights",
+		Policy:       PolicyExact,
+		NeedsWeights: true,
+		Reference: func(g *graph.Graph, p algo.Params) any {
+			return algo.RunSSSP(g, p.Source)
+		},
+		Validate: func(g *graph.Graph, p algo.Params, output any) validation.Result {
+			got, okT := output.(algo.SSSPOutput)
+			if !okT {
+				return validation.Fail("SSSP output has type %T", output)
+			}
+			return validation.ValidateSSSP(g, p.Source, got)
+		},
+	})
+	Register(Spec{
+		Kind:         algo.LCC,
+		Description:  "per-vertex local clustering coefficient",
+		Policy:       PolicyEpsilon,
+		NeedsReverse: true,
+		Reference: func(g *graph.Graph, p algo.Params) any {
+			return algo.RunLCC(g)
+		},
+		Validate: func(g *graph.Graph, p algo.Params, output any) validation.Result {
+			got, okT := output.(algo.LCCOutput)
+			if !okT {
+				return validation.Fail("LCC output has type %T", output)
+			}
+			return validation.ValidateLCC(g, got)
+		},
+	})
+}

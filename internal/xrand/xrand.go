@@ -39,6 +39,22 @@ func Float64(x uint64) float64 {
 	return float64(x>>11) / (1 << 53)
 }
 
+// edgeWeightSalt decorrelates the edge-weight stream from any
+// structural randomness drawn from the same seed, so turning weights on
+// never changes a generated topology.
+const edgeWeightSalt = 0x77656967687453 // "weightS"
+
+// EdgeWeight derives the deterministic weight in (0, 1] of edge {u, v}
+// as a pure function of (seed, endpoints), canonically ordered so both
+// arcs of an undirected edge agree. It is the shared weight derivation
+// of the graph generators (datagen, rmat).
+func EdgeWeight(seed, u, v uint64) float64 {
+	if u > v {
+		u, v = v, u
+	}
+	return 1 - Float64(Mix3(seed^edgeWeightSalt, u, v)) // (0, 1]
+}
+
 // Rand is a tiny deterministic generator with an explicit SplitMix64
 // state, cheaper and reproducible compared to math/rand across Go
 // versions.
