@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
@@ -721,6 +722,131 @@ func BenchmarkPageRankHotLoop(b *testing.B) {
 	}
 	edgesPerOp := float64(g.NumArcs()) * float64(params.PRIterations)
 	b.ReportMetric(edgesPerOp*float64(b.N)/b.Elapsed().Seconds()/1e6, "Medges/s")
+}
+
+// ---------------------------------------------------------------------
+// Ingest hot loops: the parallel load pipeline (chunked parsing,
+// concurrent interning, parallel CSR construction) vs the sequential
+// loader. The paper calls data ingestion a choke point (§2.1) and LDBC
+// Graphalytics reports loading as its own EVPS metric; these benches
+// put the ingest speedup on the perf trajectory. workers=1 is the
+// retained sequential path; both produce byte-identical graphs.
+
+var ingestBenchOnce struct {
+	sync.Once
+	dir   string
+	edges map[bool]int64 // weighted? -> |E|
+	err   error
+}
+
+func ingestBenchFiles(b *testing.B) (string, map[bool]int64) {
+	b.Helper()
+	ingestBenchOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "ingest-bench")
+		if err != nil {
+			ingestBenchOnce.err = err
+			return
+		}
+		ingestBenchOnce.dir = dir
+		ingestBenchOnce.edges = map[bool]int64{}
+		for _, weighted := range []bool{false, true} {
+			g, err := datagen.Generate(datagen.Config{
+				Persons: 30000, Seed: 17, Name: "ingest-bench", Weighted: weighted,
+			})
+			if err != nil {
+				ingestBenchOnce.err = err
+				return
+			}
+			if err := g.SaveFiles(filepath.Join(dir, prefixFor(weighted))); err != nil {
+				ingestBenchOnce.err = err
+				return
+			}
+			ingestBenchOnce.edges[weighted] = g.NumEdges()
+		}
+	})
+	if ingestBenchOnce.err != nil {
+		b.Fatal(ingestBenchOnce.err)
+	}
+	return ingestBenchOnce.dir, ingestBenchOnce.edges
+}
+
+func prefixFor(weighted bool) string {
+	if weighted {
+		return "weighted"
+	}
+	return "unweighted"
+}
+
+// ingestWorkerCounts is the workers axis of the ingest benches: the
+// sequential path and, on multi-core machines, the full fan-out.
+func ingestWorkerCounts() []int {
+	counts := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+func BenchmarkLoadEdgeList(b *testing.B) {
+	dir, edges := ingestBenchFiles(b)
+	for _, weighted := range []bool{false, true} {
+		for _, workers := range ingestWorkerCounts() {
+			name := fmt.Sprintf("%s/workers=%d", prefixFor(weighted), workers)
+			b.Run(name, func(b *testing.B) {
+				prefix := filepath.Join(dir, prefixFor(weighted))
+				var g *graph.Graph
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var err error
+					g, err = graph.LoadEdgeList(prefix+".e", prefix+".v", graph.LoadOptions{Workers: workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if g.NumEdges() != edges[weighted] {
+					b.Fatalf("loaded %d edges, want %d", g.NumEdges(), edges[weighted])
+				}
+				b.ReportMetric(float64(g.NumEdges())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Medges/s")
+			})
+		}
+	}
+}
+
+func BenchmarkBuildCSR(b *testing.B) {
+	// Arc arrays straight into CSR construction, isolating the builder
+	// (histogram + scatter + sort/dedup) from file parsing.
+	const n, m = 1 << 16, 1 << 20
+	srcs := make([]graph.VertexID, m)
+	dsts := make([]graph.VertexID, m)
+	ws := make([]float64, m)
+	s := uint64(0x9E3779B97F4A7C15)
+	for i := range srcs {
+		s = s*6364136223846793005 + 1442695040888963407
+		srcs[i] = graph.VertexID((s >> 33) % n)
+		s = s*6364136223846793005 + 1442695040888963407
+		dsts[i] = graph.VertexID((s >> 33) % n)
+		ws[i] = float64(s%1024) / 64
+	}
+	for _, weighted := range []bool{false, true} {
+		for _, workers := range ingestWorkerCounts() {
+			name := fmt.Sprintf("%s/workers=%d", prefixFor(weighted), workers)
+			b.Run(name, func(b *testing.B) {
+				var w []float64
+				if weighted {
+					w = ws
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					g := graph.FromWeightedArcsWorkers("csr-bench", n, srcs, dsts, w, true, workers)
+					if g.NumArcs() != m {
+						b.Fatal("bad build")
+					}
+				}
+				b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Marcs/s")
+			})
+		}
+	}
 }
 
 func BenchmarkSSSPHotLoop(b *testing.B) {

@@ -66,6 +66,7 @@ func run() error {
 		algorithms = flag.String("algorithms", "", "comma-separated workloads, names or LDBC aliases (default: every registered workload)")
 		graphsSpec = flag.String("graphs", "", "comma-separated graph specs (social:N, rmat:SCALE, amazon|youtube|livejournal|patents|wikipedia, or file:PATH.e)")
 		weighted   = flag.Bool("weighted", false, "generate social/rmat graphs with seeded edge weights (SSSP consumes them)")
+		loadWork   = flag.Int("load-workers", 0, "graph ingest workers: parallel parse, interning, and CSR build (0 = all cores, 1 = sequential loader)")
 		timeout    = flag.Duration("timeout", 5*time.Minute, "per-run timeout")
 		outDir     = flag.String("out", "graphalytics-report", "report output directory")
 		validate   = flag.Bool("validate", true, "validate outputs against the reference")
@@ -121,6 +122,9 @@ func run() error {
 	if v, err := props.Int64("benchmark.run.retries", int64(*retries)); err == nil {
 		*retries = int(v)
 	}
+	if v, err := props.Int64("benchmark.run.loadworkers", int64(*loadWork)); err == nil {
+		*loadWork = int(v)
+	}
 	dir := pick(*outDir, "benchmark.output.dir", "graphalytics-report")
 
 	plats, err := buildPlatforms(platformNames, props)
@@ -131,7 +135,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	graphs, err := buildGraphs(graphSpecs, *seed, *weighted)
+	graphs, ingests, err := buildGraphs(graphSpecs, *seed, *weighted, *loadWork)
 	if err != nil {
 		return err
 	}
@@ -149,6 +153,7 @@ func run() error {
 		Warmup:          *warmup,
 		Retries:         *retries,
 		CheckpointPath:  *resume,
+		Ingests:         ingests,
 		Progress: func(r report.RunResult) {
 			extra := ""
 			if r.Reps != nil {
@@ -252,68 +257,79 @@ func parseAlgorithms(names []string) ([]algo.Kind, error) {
 	return out, nil
 }
 
-func buildGraphs(specs []string, seed uint64, weighted bool) ([]*graph.Graph, error) {
+// buildGraphs materializes the graph specs, timing each build through
+// core.Ingest so the report carries the load phase (time + EVPS) of
+// every dataset next to its processing times. loadWorkers threads the
+// -load-workers parallelism into the file loader and the generators
+// (0 = all cores, 1 = the sequential paths).
+func buildGraphs(specs []string, seed uint64, weighted bool, loadWorkers int) ([]*graph.Graph, []report.IngestStat, error) {
 	var out []*graph.Graph
+	var ingests []report.IngestStat
 	for _, spec := range specs {
 		kind, arg, _ := strings.Cut(spec, ":")
+		var build func() (*graph.Graph, error)
 		switch kind {
 		case "social":
 			n, err := strconv.Atoi(arg)
 			if err != nil {
-				return nil, fmt.Errorf("graph spec %q: %w", spec, err)
+				return nil, nil, fmt.Errorf("graph spec %q: %w", spec, err)
 			}
-			g, err := graphalytics.GenerateSocialNetworkConfig(graphalytics.DatagenConfig{
-				Persons: n, Seed: seed, Weighted: weighted,
-			})
-			if err != nil {
-				return nil, err
+			build = func() (*graph.Graph, error) {
+				g, err := graphalytics.GenerateSocialNetworkConfig(graphalytics.DatagenConfig{
+					Persons: n, Seed: seed, Weighted: weighted, Workers: loadWorkers,
+				})
+				if err != nil {
+					return nil, err
+				}
+				g.SetName(fmt.Sprintf("social-%d", n))
+				return g, nil
 			}
-			g.SetName(fmt.Sprintf("social-%d", n))
-			out = append(out, g)
 		case "rmat":
 			scale, err := strconv.Atoi(arg)
 			if err != nil {
-				return nil, fmt.Errorf("graph spec %q: %w", spec, err)
+				return nil, nil, fmt.Errorf("graph spec %q: %w", spec, err)
 			}
-			g, err := graphalytics.GenerateRMATConfig(graphalytics.RMATConfig{
-				Scale: scale, Seed: seed, Weighted: weighted,
-			})
-			if err != nil {
-				return nil, err
+			build = func() (*graph.Graph, error) {
+				return graphalytics.GenerateRMATConfig(graphalytics.RMATConfig{
+					Scale: scale, Seed: seed, Weighted: weighted, Workers: loadWorkers,
+				})
 			}
-			out = append(out, g)
 		case "file":
-			g, err := graphalytics.LoadGraph(arg, "", false)
-			if err != nil {
-				return nil, err
+			build = func() (*graph.Graph, error) {
+				return graphalytics.LoadGraphOpts(arg, "", graphalytics.LoadOptions{Workers: loadWorkers})
 			}
-			out = append(out, g)
 		case "amazon", "youtube", "livejournal", "patents", "wikipedia":
 			div := 0
 			if arg != "" {
 				d, err := strconv.Atoi(arg)
 				if err != nil {
-					return nil, fmt.Errorf("graph spec %q: %w", spec, err)
+					return nil, nil, fmt.Errorf("graph spec %q: %w", spec, err)
 				}
 				div = d
 			}
-			g, err := graphalytics.GenerateSurrogate(kind, div)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, g)
+			build = func() (*graph.Graph, error) { return graphalytics.GenerateSurrogate(kind, div) }
 		default:
-			return nil, fmt.Errorf("unknown graph spec %q", spec)
+			return nil, nil, fmt.Errorf("unknown graph spec %q", spec)
 		}
+		g, stat, err := core.Ingest(spec, loadWorkers, build)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, g)
+		ingests = append(ingests, stat)
 	}
-	return out, nil
+	return out, ingests, nil
 }
 
 func writeReport(dir string, rep *report.Report) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f4 := report.Figure4Table(rep.Results)
+	ingest := report.IngestTable(rep.Ingests)
+	if ingest != "" {
+		ingest += "\n"
+	}
+	f4 := ingest + report.Figure4Table(rep.Results)
 	f5 := report.Figure5Table(rep.Results)
 	for _, r := range rep.Results {
 		// The weighted-workload throughput table rides along when the

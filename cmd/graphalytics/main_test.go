@@ -78,7 +78,7 @@ func TestBuildPlatforms(t *testing.T) {
 }
 
 func TestBuildGraphs(t *testing.T) {
-	graphs, err := buildGraphs([]string{"social:500", "rmat:9", "amazon:512"}, 1, false)
+	graphs, ingests, err := buildGraphs([]string{"social:500", "rmat:9", "amazon:512"}, 1, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,15 +91,30 @@ func TestBuildGraphs(t *testing.T) {
 	if graphs[1].NumVertices() != 512 {
 		t.Errorf("rmat vertices = %d", graphs[1].NumVertices())
 	}
+	// Every dataset's ingest phase is recorded, with its spec as source.
+	if len(ingests) != 3 {
+		t.Fatalf("ingests = %d", len(ingests))
+	}
+	for i, in := range ingests {
+		if in.Graph != graphs[i].Name() {
+			t.Errorf("ingest[%d].Graph = %q, want %q", i, in.Graph, graphs[i].Name())
+		}
+		if in.Edges != graphs[i].NumEdges() || in.Duration <= 0 || in.EVPS <= 0 {
+			t.Errorf("ingest[%d] not populated: %+v", i, in)
+		}
+	}
+	if ingests[1].Source != "rmat:9" {
+		t.Errorf("ingest source = %q", ingests[1].Source)
+	}
 	for _, bad := range []string{"social:x", "rmat:", "unknown:1", "amazon:x"} {
-		if _, err := buildGraphs([]string{bad}, 1, false); err == nil {
+		if _, _, err := buildGraphs([]string{bad}, 1, false, 0); err == nil {
 			t.Errorf("spec %q should fail", bad)
 		}
 	}
 }
 
 func TestBuildGraphsWeighted(t *testing.T) {
-	graphs, err := buildGraphs([]string{"social:300", "rmat:8"}, 1, true)
+	graphs, _, err := buildGraphs([]string{"social:300", "rmat:8"}, 1, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +131,7 @@ func TestBuildGraphsFromFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	graphs, err := buildGraphs([]string{"file:" + path}, 1, false)
+	graphs, _, err := buildGraphs([]string{"file:" + path}, 1, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +143,7 @@ func TestBuildGraphsFromFile(t *testing.T) {
 	if err := os.WriteFile(wpath, []byte("0 1 0.5\n1 2 2.25\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	graphs, err = buildGraphs([]string{"file:" + wpath}, 1, false)
+	graphs, _, err = buildGraphs([]string{"file:" + wpath}, 1, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,6 +161,10 @@ func TestWriteReport(t *testing.T) {
 			Platform: "pregel", Graph: "g", Algorithm: algo.BFS,
 			Status: report.StatusSuccess, Runtime: time.Second,
 		}},
+		Ingests: []report.IngestStat{{
+			Graph: "g", Source: "social:500", Vertices: 10, Edges: 20,
+			Duration: time.Millisecond, EVPS: 20000,
+		}},
 	}
 	if err := writeReport(dir, rep); err != nil {
 		t.Fatal(err)
@@ -162,6 +181,14 @@ func TestWriteReport(t *testing.T) {
 	txt, _ := os.ReadFile(filepath.Join(dir, "report.txt"))
 	if !strings.Contains(string(txt), "BFS") {
 		t.Error("report.txt missing algorithm row")
+	}
+	// The ingest phase renders as its own table ahead of the matrix.
+	if !strings.Contains(string(txt), "ingest (graph load)") {
+		t.Error("report.txt missing the ingest table")
+	}
+	js, _ := os.ReadFile(filepath.Join(dir, "report.json"))
+	if !strings.Contains(string(js), `"ingests"`) {
+		t.Error("report.json missing the ingests field")
 	}
 }
 

@@ -140,6 +140,8 @@ type (
 	Report = report.Report
 	// RunResult is one cell of the benchmark matrix.
 	RunResult = report.RunResult
+	// IngestStat is the load phase (time + EVPS) of one dataset.
+	IngestStat = report.IngestStat
 	// Characteristics is a Table 1 measurement row.
 	Characteristics = gmetrics.Characteristics
 )
@@ -181,8 +183,17 @@ func AllPlatforms() []Platform {
 
 // LoadGraph reads a graph from a Graphalytics-format edge file (.e) and
 // optional vertex file (.v; pass "" to derive vertices from edges).
+// Loading runs the parallel ingest pipeline on all cores; use
+// LoadGraphOpts to pin the worker count.
 func LoadGraph(edgePath, vertexPath string, directed bool) (*Graph, error) {
 	return graph.LoadEdgeList(edgePath, vertexPath, graph.LoadOptions{Directed: directed})
+}
+
+// LoadGraphOpts is LoadGraph with full options: dataset name, self-loop
+// dropping, and ingest parallelism (Workers 0 = all cores, 1 = the
+// sequential loader; both produce byte-identical graphs).
+func LoadGraphOpts(edgePath, vertexPath string, opts LoadOptions) (*Graph, error) {
+	return graph.LoadEdgeList(edgePath, vertexPath, opts)
 }
 
 // GenerateSocialNetwork produces a Datagen person-knows-person graph
@@ -283,6 +294,9 @@ func Figure4Table(results []RunResult) string { return report.Figure4Table(resul
 
 // Figure5Table renders CONN kTEPS in the shape of Figure 5.
 func Figure5Table(results []RunResult) string { return report.Figure5Table(results) }
+
+// IngestTable renders the per-dataset load-time/EVPS table.
+func IngestTable(ingests []IngestStat) string { return report.IngestTable(ingests) }
 
 // DegreeDistribution re-exports the Datagen degree plugin interface.
 type DegreeDistribution = dist.Distribution

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"graphalytics/internal/algo"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/platform"
+	"graphalytics/internal/platform/pregel"
+	"graphalytics/internal/report"
+)
+
+func ingestTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(graph.Directed(false), graph.WithName("tiny"))
+	for i := 0; i < 16; i++ {
+		b.AddEdgeID(graph.VertexID(i), graph.VertexID((i+1)%16))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestIngestHelper(t *testing.T) {
+	g, stat, err := Ingest("spec:tiny", 4, func() (*graph.Graph, error) {
+		return ingestTestGraph(t), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.Graph != "tiny" || stat.Source != "spec:tiny" || stat.Workers != 4 {
+		t.Errorf("stat = %+v", stat)
+	}
+	if stat.Vertices != g.NumVertices() || stat.Edges != g.NumEdges() {
+		t.Errorf("stat sizes = %+v, graph %v", stat, g)
+	}
+	if stat.Duration <= 0 || stat.EVPS <= 0 {
+		t.Errorf("ingest timing not populated: %+v", stat)
+	}
+
+	boom := errors.New("boom")
+	if _, _, err := Ingest("x", 0, func() (*graph.Graph, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Errorf("build error not propagated: %v", err)
+	}
+}
+
+func TestBenchmarkCarriesIngestsIntoReport(t *testing.T) {
+	g := ingestTestGraph(t)
+	bench := &Benchmark{
+		Platforms:  []platform.Platform{pregel.New(pregel.Options{})},
+		Graphs:     []*graph.Graph{g},
+		Algorithms: []algo.Kind{algo.BFS},
+		Ingests: []report.IngestStat{{
+			Graph: "tiny", Vertices: g.NumVertices(), Edges: g.NumEdges(),
+		}},
+	}
+	rep, err := bench.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Ingests) != 1 || rep.Ingests[0].Graph != "tiny" {
+		t.Fatalf("report ingests = %+v", rep.Ingests)
+	}
+}

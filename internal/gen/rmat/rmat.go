@@ -108,11 +108,14 @@ func Generate(cfg Config) (*graph.Graph, error) {
 			k++
 		}
 	}
+	// CSR construction shares the generator's worker budget: the arc
+	// arrays feed the parallel builder, which is bit-identical to the
+	// sequential one.
+	var ws []float64
 	if c.Weighted {
-		g := graph.FromWeightedArcs(c.Name, n, srcs[:k], dsts[:k], edgeWeights(c.Seed, srcs[:k], dsts[:k]), false)
-		return g, nil
+		ws = edgeWeights(c.Seed, srcs[:k], dsts[:k])
 	}
-	g := graph.FromArcs(c.Name, n, srcs[:k], dsts[:k], false)
+	g := graph.FromWeightedArcsWorkers(c.Name, n, srcs[:k], dsts[:k], ws, false, c.Workers)
 	return g, nil
 }
 

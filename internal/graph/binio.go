@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
 )
 
 // Binary graph format ("GALB"): a compact CSR serialization that loads
@@ -122,8 +123,17 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadBinary deserializes a graph from r.
-func ReadBinary(r io.Reader) (*Graph, error) {
+// ReadBinary deserializes a graph from r, with the reverse-adjacency
+// rebuild parallelized over all cores (see ReadBinaryWorkers).
+func ReadBinary(r io.Reader) (*Graph, error) { return ReadBinaryWorkers(r, 0) }
+
+// ReadBinaryWorkers is ReadBinary with the weight-section decode and
+// the reverse-adjacency rebuild fanned out over workers (<= 0 uses
+// GOMAXPROCS). The varint edge stream itself is inherently sequential
+// — each delta depends on its predecessor — so it always streams. The
+// result is byte-identical for any worker count.
+func ReadBinaryWorkers(r io.Reader, workers int) (*Graph, error) {
+	workers = buildWorkers(workers)
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -203,13 +213,23 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		}
 	}
 	if flags&8 != 0 {
+		// The weight section is a flat float64 block: stream it in
+		// fixed-size reads and convert each block off the wire.
 		g.outWeights = make([]float64, arcs)
-		var wbuf [8]byte
-		for i := range g.outWeights {
-			if _, err := io.ReadFull(br, wbuf[:]); err != nil {
+		const blk = 1 << 16 // floats per read
+		var buf []byte
+		for off := 0; off < len(g.outWeights); off += blk {
+			end := min(off+blk, len(g.outWeights))
+			need := (end - off) * 8
+			if cap(buf) < need {
+				buf = make([]byte, need)
+			}
+			if _, err := io.ReadFull(br, buf[:need]); err != nil {
 				return nil, fmt.Errorf("%w: truncated weights: %v", ErrBadFormat, err)
 			}
-			g.outWeights[i] = math.Float64frombits(binary.LittleEndian.Uint64(wbuf[:]))
+			for i := off; i < end; i++ {
+				g.outWeights[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[(i-off)*8:]))
+			}
 		}
 	}
 	if flags&2 != 0 {
@@ -226,23 +246,34 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		g.inIndex, g.inEdges = g.outIndex, g.outEdges
 		g.inWeights = g.outWeights
 	} else if flags&4 != 0 {
-		// Rebuild the reverse adjacency (with weights when present).
-		srcs := make([]VertexID, 0, arcs)
-		dsts := make([]VertexID, 0, arcs)
-		var ws []float64
-		if g.outWeights != nil {
-			ws = make([]float64, 0, arcs)
-		}
-		g.ArcsW(func(u, v VertexID, wt float64) {
-			srcs = append(srcs, u)
-			dsts = append(dsts, v)
-			if ws != nil {
-				ws = append(ws, wt)
-			}
-		})
-		g.inIndex, g.inEdges, g.inWeights = buildCSRW(n, dsts, srcs, ws, false)
+		// Rebuild the reverse adjacency (with weights when present):
+		// materialize the per-arc source array straight from the CSR
+		// index (in parallel) and counting-sort by target. outEdges and
+		// outWeights are read-only inputs here, so they feed the build
+		// without a copy.
+		srcs := make([]VertexID, arcs)
+		fillSources(g.outIndex, srcs, n, workers)
+		g.inIndex, g.inEdges, g.inWeights = buildCSRWP(n, g.outEdges, srcs, g.outWeights, false, workers)
 	}
 	return g, nil
+}
+
+// fillSources expands the CSR index into a per-arc source array.
+func fillSources(index []int64, srcs []VertexID, n, workers int) {
+	ranges := balancedVertexRanges(index, n, workers)
+	var wg sync.WaitGroup
+	for _, vr := range ranges {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				for i := index[v]; i < index[v+1]; i++ {
+					srcs[i] = VertexID(v)
+				}
+			}
+		}(vr[0], vr[1])
+	}
+	wg.Wait()
 }
 
 // SaveBinary writes the graph to path in the binary format.
@@ -258,12 +289,16 @@ func (g *Graph) SaveBinary(path string) error {
 	return f.Close()
 }
 
-// LoadBinary reads a binary graph file.
-func LoadBinary(path string) (*Graph, error) {
+// LoadBinary reads a binary graph file, with the reverse-adjacency
+// rebuild parallelized over all cores (see ReadBinaryWorkers).
+func LoadBinary(path string) (*Graph, error) { return LoadBinaryWorkers(path, 0) }
+
+// LoadBinaryWorkers is LoadBinary with ReadBinaryWorkers parallelism.
+func LoadBinaryWorkers(path string, workers int) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadBinary(f)
+	return ReadBinaryWorkers(f, workers)
 }

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 )
 
@@ -141,6 +142,75 @@ func (b *Builder) AddEdgeIDWeighted(src, dst VertexID, w float64) {
 	b.weights[len(b.weights)-1] = w
 }
 
+// AddEdges appends a batch of dense-ID arcs in one call — the shard
+// feed of the parallel ingest pipeline, and the fast path for
+// generators that already hold whole arc arrays. ws is optional
+// per-arc weights: nil adds unweighted arcs (unit weights if the
+// builder is already weighted); non-nil must be parallel to srcs. On a
+// builder with no buffered edges the slices are adopted, not copied,
+// so callers must not reuse them. ID mode only.
+func (b *Builder) AddEdges(srcs, dsts []VertexID, ws []float64) {
+	if b.useLabels {
+		panic("graph: AddEdges is only valid in ID mode")
+	}
+	if len(srcs) != len(dsts) || (ws != nil && len(ws) != len(srcs)) {
+		panic("graph: AddEdges slice length mismatch")
+	}
+	if len(srcs) == 0 {
+		return
+	}
+	if ws != nil {
+		b.materializeWeights()
+	}
+	if b.srcs == nil {
+		b.srcs, b.dsts = srcs, dsts
+		if ws != nil {
+			b.weights = ws
+		} else if b.weights != nil {
+			// Weighted mode was entered with zero edges buffered;
+			// credit the batch with unit weights.
+			b.weights = make([]float64, len(srcs))
+			for i := range b.weights {
+				b.weights[i] = 1
+			}
+		}
+	} else {
+		b.srcs = append(b.srcs, srcs...)
+		b.dsts = append(b.dsts, dsts...)
+		if ws != nil {
+			b.weights = append(b.weights, ws...)
+		} else if b.weights != nil {
+			for range srcs {
+				b.weights = append(b.weights, 1)
+			}
+		}
+	}
+	b.hasEdges = true
+	for _, v := range srcs {
+		if v > b.maxID {
+			b.maxID = v
+		}
+	}
+	for _, v := range dsts {
+		if v > b.maxID {
+			b.maxID = v
+		}
+	}
+}
+
+// SetLabels installs an externally built label table for a graph
+// assembled in ID mode: internal vertex v gets external label
+// labels[v], and the vertex count becomes len(labels). The parallel
+// loader's sharded interner uses this to hand its densification to the
+// builder. The builder takes ownership of the slice. Panics in label
+// mode (AddEdge/AddVertex interning owns the table there).
+func (b *Builder) SetLabels(labels []int64) {
+	if b.useLabels {
+		panic("graph: SetLabels after AddEdge/AddVertex")
+	}
+	b.labels = labels
+}
+
 // materializeWeights switches the builder into weighted mode, crediting
 // every previously added (unweighted) edge with weight 1.
 func (b *Builder) materializeWeights() {
@@ -190,11 +260,28 @@ var ErrEmptyGraph = errors.New("graph: empty graph")
 
 // Build constructs the CSR graph. The builder must not be reused after
 // Build.
-func (b *Builder) Build() (*Graph, error) {
+func (b *Builder) Build() (*Graph, error) { return b.build(1) }
+
+// BuildParallel is Build with the CSR construction (degree histograms,
+// scatter, per-vertex sort/dedup) fanned out over workers. workers <= 0
+// uses GOMAXPROCS; workers == 1 is exactly the sequential Build. The
+// produced graph is byte-identical to Build's for any worker count.
+func (b *Builder) BuildParallel(workers int) (*Graph, error) {
+	return b.build(buildWorkers(workers))
+}
+
+func (b *Builder) build(workers int) (*Graph, error) {
 	var n int
-	if b.useLabels {
+	switch {
+	case b.useLabels:
 		n = len(b.labels)
-	} else if b.hasEdges || b.maxID > 0 {
+	case b.labels != nil:
+		// SetLabels fixed the vertex count in ID mode.
+		n = len(b.labels)
+		if b.hasEdges && int(b.maxID) >= n {
+			return nil, fmt.Errorf("graph: edge ID %d out of range of %d labels", b.maxID, n)
+		}
+	case b.hasEdges || b.maxID > 0:
 		n = int(b.maxID) + 1
 	}
 	if n == 0 {
@@ -230,14 +317,14 @@ func (b *Builder) Build() (*Graph, error) {
 		}
 	}
 
-	g.outIndex, g.outEdges, g.outWeights = buildCSRW(n, srcs, dsts, ws, b.dedup || !b.directed)
+	g.outIndex, g.outEdges, g.outWeights = buildCSRWP(n, srcs, dsts, ws, b.dedup || !b.directed, workers)
 	if !b.directed {
 		g.inIndex, g.inEdges = g.outIndex, g.outEdges
 		g.inWeights = g.outWeights
 	} else if b.buildIn {
-		g.inIndex, g.inEdges, g.inWeights = buildCSRW(n, dsts, srcs, ws, b.dedup)
+		g.inIndex, g.inEdges, g.inWeights = buildCSRWP(n, dsts, srcs, ws, b.dedup, workers)
 	}
-	if b.useLabels {
+	if b.labels != nil {
 		g.labels = b.labels
 	}
 	// Release builder storage.
@@ -344,12 +431,19 @@ func (s *edgeWeightSort) Swap(i, j int) {
 // dense arc arrays, taking ownership of the slices. It is the fast path
 // used by generators. n must be at least max(id)+1.
 func FromArcs(name string, n int, srcs, dsts []VertexID, directed bool) *Graph {
-	return FromWeightedArcs(name, n, srcs, dsts, nil, directed)
+	return FromWeightedArcsWorkers(name, n, srcs, dsts, nil, directed, 1)
 }
 
 // FromWeightedArcs is FromArcs with optional per-arc weights (nil builds
 // an unweighted graph). It takes ownership of all slices.
 func FromWeightedArcs(name string, n int, srcs, dsts []VertexID, ws []float64, directed bool) *Graph {
+	return FromWeightedArcsWorkers(name, n, srcs, dsts, ws, directed, 1)
+}
+
+// FromWeightedArcsWorkers is FromWeightedArcs with the CSR construction
+// fanned out over workers (<= 0 uses GOMAXPROCS, 1 is the sequential
+// path); the result is byte-identical for any worker count.
+func FromWeightedArcsWorkers(name string, n int, srcs, dsts []VertexID, ws []float64, directed bool, workers int) *Graph {
 	g := &Graph{name: name, directed: directed, n: n}
 	if !directed {
 		m := len(srcs)
@@ -358,12 +452,12 @@ func FromWeightedArcs(name string, n int, srcs, dsts []VertexID, ws []float64, d
 		if ws != nil {
 			ws = append(ws, ws[:m]...)
 		}
-		g.outIndex, g.outEdges, g.outWeights = buildCSRW(n, srcs, dsts, ws, true)
+		g.outIndex, g.outEdges, g.outWeights = buildCSRWP(n, srcs, dsts, ws, true, workers)
 		g.inIndex, g.inEdges = g.outIndex, g.outEdges
 		g.inWeights = g.outWeights
 		return g
 	}
-	g.outIndex, g.outEdges, g.outWeights = buildCSRW(n, srcs, dsts, ws, false)
-	g.inIndex, g.inEdges, g.inWeights = buildCSRW(n, dsts, srcs, ws, false)
+	g.outIndex, g.outEdges, g.outWeights = buildCSRWP(n, srcs, dsts, ws, false, workers)
+	g.inIndex, g.inEdges, g.inWeights = buildCSRWP(n, dsts, srcs, ws, false, workers)
 	return g
 }

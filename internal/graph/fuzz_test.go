@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseEdgeLine fuzzes the shared .e line parser (the single
+// source of truth for both the sequential reader and the parallel
+// chunk workers) and differentially checks the two loaders on a small
+// file built from the line: same error text or byte-identical graph.
+func FuzzParseEdgeLine(f *testing.F) {
+	for _, seed := range []string{
+		"1 2",
+		"1\t2",
+		"# comment",
+		"% also a comment",
+		"",
+		"   ",
+		"1 2 0.5",
+		"1 2 0.5 1234567890", // trailing property column
+		"1 2\r",              // CRLF
+		"1 2 3.25\r",
+		"999999999999 3",  // sparse IDs
+		"-5 7",            // negative IDs
+		"3,4,1.5",         // comma separators
+		"1 2 banana",      // malformed weight
+		"0 1 -1",          // negative weight
+		"0 1 NaN",         // non-finite weight
+		"0 1 +Inf",        // non-finite weight
+		"7 8 1e-3",        // scientific notation
+		"x y",             // malformed line
+		"5",               // missing dst
+		"+1 +2 +0.0",      // explicit signs
+		"00 01 00.5",      // leading zeros
+		"1 2 0.5,extra",   // comma after weight
+		"\t 9 \t 10 \t 2", // whitespace soup
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		// The line parser must never panic, whatever the bytes.
+		l, err := splitEdgeLine([]byte(line))
+		if err == nil && l.data && l.weightField != nil {
+			_, _ = l.weight()
+		}
+
+		// Differential: a file of the line repeated (so the second
+		// occurrence also exercises the post-decision path) must load
+		// identically under the sequential and parallel pipelines.
+		data := line + "\n" + line + "\n"
+		seq, seqErr := ReadGraph(strings.NewReader(data), nil, LoadOptions{Workers: 1})
+		par, parErr := ReadGraph(strings.NewReader(data), nil, LoadOptions{Workers: 4})
+		if (seqErr == nil) != (parErr == nil) {
+			t.Fatalf("outcome mismatch: sequential err %v, parallel err %v", seqErr, parErr)
+		}
+		if seqErr != nil {
+			if seqErr.Error() != parErr.Error() {
+				t.Fatalf("error mismatch:\n  sequential: %v\n  parallel:   %v", seqErr, parErr)
+			}
+			return
+		}
+		if diff := graphDiff(seq, par); diff != "" {
+			t.Fatalf("graph mismatch: %s", diff)
+		}
+	})
+}

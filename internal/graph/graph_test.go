@@ -241,7 +241,8 @@ func TestCutInt(t *testing.T) {
 		{"", 0, "", false},
 	}
 	for _, c := range cases {
-		v, rest, ok := cutInt(c.in)
+		v, restB, ok := cutInt([]byte(c.in))
+		rest := string(restB)
 		if v != c.want || rest != c.rest || ok != c.ok {
 			t.Errorf("cutInt(%q) = (%d,%q,%v), want (%d,%q,%v)", c.in, v, rest, ok, c.want, c.rest, c.ok)
 		}

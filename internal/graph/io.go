@@ -2,6 +2,8 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -25,29 +27,64 @@ import (
 // from the first edge line; files mixing weighted and unweighted lines,
 // or carrying malformed or negative/non-finite weights, are rejected
 // with a line-numbered error.
+//
+// Loading is a parallel ingest pipeline by default (see ingest.go):
+// newline-aligned byte chunks parsed by a worker pool, concurrent
+// interning, and parallel CSR construction. Workers == 1 selects the
+// original streaming sequential loader; both paths produce
+// byte-identical graphs and identical (first-in-file-order,
+// line-numbered) errors.
 
 // LoadOptions configures graph loading.
 type LoadOptions struct {
 	Directed  bool   // interpret edges as directed arcs
 	Name      string // dataset name; defaults to the file base name
 	DropLoops bool   // drop self-loop edges
+	// Workers sets ingest parallelism: chunked parsing, concurrent
+	// interning, and parallel CSR construction. 0 selects GOMAXPROCS;
+	// 1 selects the sequential streaming loader. The parallel path
+	// reads the whole file into memory (chunk workers need random
+	// access); when peak memory matters more than load time — e.g. an
+	// edge file near the machine's RAM — use Workers: 1, which streams
+	// through a fixed-size buffer.
+	Workers int
 }
 
-// LoadEdgeList reads a graph from edgePath (.e format) and, if vertexPath
-// is non-empty, the vertex file (.v format).
-func LoadEdgeList(edgePath, vertexPath string, opts LoadOptions) (*Graph, error) {
-	name := opts.Name
-	if name == "" {
-		name = strings.TrimSuffix(filepath.Base(edgePath), filepath.Ext(edgePath))
-	}
-	bopts := []BuilderOption{Directed(opts.Directed), Dedup(), WithName(name)}
+func (opts LoadOptions) builder() *Builder {
+	bopts := []BuilderOption{Directed(opts.Directed), Dedup(), WithName(opts.Name)}
 	if opts.Directed {
 		bopts = append(bopts, WithReverse())
 	}
 	if opts.DropLoops {
 		bopts = append(bopts, DropSelfLoops())
 	}
-	b := NewBuilder(bopts...)
+	return NewBuilder(bopts...)
+}
+
+// LoadEdgeList reads a graph from edgePath (.e format) and, if vertexPath
+// is non-empty, the vertex file (.v format).
+func LoadEdgeList(edgePath, vertexPath string, opts LoadOptions) (*Graph, error) {
+	if opts.Name == "" {
+		opts.Name = strings.TrimSuffix(filepath.Base(edgePath), filepath.Ext(edgePath))
+	}
+	workers := buildWorkers(opts.Workers)
+	b := opts.builder()
+
+	if workers > 1 {
+		var vdata []byte
+		if vertexPath != "" {
+			var err error
+			if vdata, err = os.ReadFile(vertexPath); err != nil {
+				return nil, fmt.Errorf("graph: open vertex file: %w", err)
+			}
+		}
+		edata, err := os.ReadFile(edgePath)
+		if err != nil {
+			return nil, fmt.Errorf("graph: open edge file: %w", err)
+		}
+		g, err := ingest(b, edata, vdata, vertexPath != "", workers)
+		return wrapLoadErr(g, err, edgePath, vertexPath)
+	}
 
 	if vertexPath != "" {
 		vf, err := os.Open(vertexPath)
@@ -72,19 +109,53 @@ func LoadEdgeList(edgePath, vertexPath string, opts LoadOptions) (*Graph, error)
 	if err := readEdges(ef, b); err != nil {
 		return nil, fmt.Errorf("graph: %s: %w", edgePath, err)
 	}
-	return b.Build()
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("graph: %s: %w", edgePath, err)
+	}
+	return g, nil
+}
+
+// wrapLoadErr qualifies an ingest error with the file it came from:
+// vertex errors with the vertex path, everything else (edge parse,
+// interning, Build) with the edge path.
+func wrapLoadErr(g *Graph, err error, edgePath, vertexPath string) (*Graph, error) {
+	if err == nil {
+		return g, nil
+	}
+	var verr *vertexFileError
+	if vertexPath != "" && errors.As(err, &verr) {
+		return nil, fmt.Errorf("graph: %s: %w", vertexPath, verr.err)
+	}
+	return nil, fmt.Errorf("graph: %s: %w", edgePath, err)
 }
 
 // ReadGraph parses a graph from in-memory readers (vertices may be nil).
 func ReadGraph(edges io.Reader, vertices io.Reader, opts LoadOptions) (*Graph, error) {
-	bopts := []BuilderOption{Directed(opts.Directed), Dedup(), WithName(opts.Name)}
-	if opts.Directed {
-		bopts = append(bopts, WithReverse())
+	workers := buildWorkers(opts.Workers)
+	b := opts.builder()
+	if workers > 1 {
+		var vdata []byte
+		if vertices != nil {
+			var err error
+			if vdata, err = io.ReadAll(vertices); err != nil {
+				return nil, err
+			}
+		}
+		edata, err := io.ReadAll(edges)
+		if err != nil {
+			return nil, err
+		}
+		g, err := ingest(b, edata, vdata, vertices != nil, workers)
+		if err != nil {
+			var verr *vertexFileError
+			if errors.As(err, &verr) {
+				return nil, verr.err
+			}
+			return nil, err
+		}
+		return g, nil
 	}
-	if opts.DropLoops {
-		bopts = append(bopts, DropSelfLoops())
-	}
-	b := NewBuilder(bopts...)
 	if vertices != nil {
 		if err := readVertices(vertices, b); err != nil {
 			return nil, err
@@ -105,21 +176,34 @@ func readVertices(r io.Reader, b *Builder) error {
 	line := 0
 	for sc.Scan() {
 		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || text[0] == '#' || text[0] == '%' {
-			continue
-		}
-		// Vertex files may carry property columns; the first field is the ID.
-		if i := strings.IndexAny(text, " \t"); i >= 0 {
-			text = text[:i]
-		}
-		id, err := strconv.ParseInt(text, 10, 64)
+		id, data, err := parseVertexLine(sc.Bytes())
 		if err != nil {
-			return fmt.Errorf("line %d: bad vertex id %q", line, text)
+			return fmt.Errorf("line %d: %w", line, err)
 		}
-		b.AddVertex(id)
+		if data {
+			b.AddVertex(id)
+		}
 	}
 	return sc.Err()
+}
+
+// parseVertexLine parses one .v line: the leading field is the vertex
+// identifier, further property columns are ignored. data is false for
+// blank and comment lines.
+func parseVertexLine(raw []byte) (id int64, data bool, err error) {
+	text := bytes.TrimSpace(raw)
+	if len(text) == 0 || text[0] == '#' || text[0] == '%' {
+		return 0, false, nil
+	}
+	// Vertex files may carry property columns; the first field is the ID.
+	if i := bytes.IndexAny(text, " \t"); i >= 0 {
+		text = text[:i]
+	}
+	id, perr := strconv.ParseInt(string(text), 10, 64)
+	if perr != nil {
+		return 0, false, fmt.Errorf("bad vertex id %q", text)
+	}
+	return id, true, nil
 }
 
 // edgeReader tracks the weighted/unweighted decision made on the first
@@ -131,75 +215,103 @@ type edgeReader struct {
 }
 
 func readEdges(r io.Reader, b *Builder) error {
-	br := bufio.NewReaderSize(r, 1<<20)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 16*1024*1024)
 	er := &edgeReader{b: b}
 	line := 0
-	for {
-		text, err := br.ReadString('\n')
-		if len(text) > 0 {
-			line++
-			if perr := er.parseEdgeLine(text, line); perr != nil {
-				return perr
-			}
-		}
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
+	for sc.Scan() {
+		line++
+		if err := er.parseEdgeLine(sc.Bytes(), line); err != nil {
 			return err
 		}
 	}
+	return sc.Err()
 }
 
-func (er *edgeReader) parseEdgeLine(text string, line int) error {
-	s := strings.TrimSpace(text)
-	if s == "" || s[0] == '#' || s[0] == '%' {
+func (er *edgeReader) parseEdgeLine(raw []byte, line int) error {
+	l, err := splitEdgeLine(raw)
+	if err != nil {
+		return fmt.Errorf("line %d: %w", line, err)
+	}
+	if !l.data {
 		return nil
 	}
-	src, rest, ok := cutInt(s)
-	if !ok {
-		return fmt.Errorf("line %d: bad edge line %q", line, s)
-	}
-	dst, rest, ok := cutInt(rest)
-	if !ok {
-		return fmt.Errorf("line %d: bad edge line %q", line, s)
-	}
-	rest = strings.TrimSpace(rest)
 	if !er.decided {
 		er.decided = true
-		er.weighted = rest != ""
+		er.weighted = l.weightField != nil
 	}
-	if rest == "" {
+	if l.weightField == nil {
 		if er.weighted {
-			return fmt.Errorf("line %d: edge %q has no weight but earlier edges are weighted", line, s)
+			return fmt.Errorf("line %d: edge %q has no weight but earlier edges are weighted", line, l.text)
 		}
-		er.b.AddEdge(src, dst)
+		er.b.AddEdge(l.src, l.dst)
 		return nil
 	}
 	if !er.weighted {
-		return fmt.Errorf("line %d: edge %q has a weight column but earlier edges do not", line, s)
+		return fmt.Errorf("line %d: edge %q has a weight column but earlier edges do not", line, l.text)
 	}
-	// The weight is the first remaining field; further columns are ignored
-	// (some exports carry timestamps or properties after the weight).
-	field := rest
-	if i := strings.IndexAny(field, " \t,"); i >= 0 {
-		field = field[:i]
-	}
-	w, err := strconv.ParseFloat(field, 64)
+	w, err := l.weight()
 	if err != nil {
-		return fmt.Errorf("line %d: bad edge weight %q", line, field)
+		return fmt.Errorf("line %d: %w", line, err)
+	}
+	er.b.AddEdgeWeighted(l.src, l.dst, w)
+	return nil
+}
+
+// edgeLine is the mode-independent parse of one .e line: the weight
+// column is captured but not validated, because whether it may appear
+// at all depends on the file-level weighted/unweighted decision.
+type edgeLine struct {
+	src, dst    int64
+	weightField []byte // first column after dst; nil = none
+	text        []byte // trimmed line, for error messages
+	data        bool   // false for blank and comment lines
+}
+
+// splitEdgeLine parses one .e line (without its newline; a trailing
+// '\r' is treated as whitespace). Columns after the weight are ignored
+// — some exports carry timestamps or properties after it.
+func splitEdgeLine(raw []byte) (edgeLine, error) {
+	s := bytes.TrimSpace(raw)
+	if len(s) == 0 || s[0] == '#' || s[0] == '%' {
+		return edgeLine{}, nil
+	}
+	src, rest, ok := cutInt(s)
+	if !ok {
+		return edgeLine{}, fmt.Errorf("bad edge line %q", s)
+	}
+	dst, rest, ok := cutInt(rest)
+	if !ok {
+		return edgeLine{}, fmt.Errorf("bad edge line %q", s)
+	}
+	l := edgeLine{src: src, dst: dst, text: s, data: true}
+	rest = bytes.TrimSpace(rest)
+	if len(rest) > 0 {
+		field := rest
+		if i := bytes.IndexAny(field, " \t,"); i >= 0 {
+			field = field[:i]
+		}
+		l.weightField = field
+	}
+	return l, nil
+}
+
+// weight parses and validates the line's weight column.
+func (l edgeLine) weight() (float64, error) {
+	w, err := strconv.ParseFloat(string(l.weightField), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad edge weight %q", l.weightField)
 	}
 	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
-		return fmt.Errorf("line %d: edge weight %v must be finite and non-negative", line, w)
+		return 0, fmt.Errorf("edge weight %v must be finite and non-negative", w)
 	}
-	er.b.AddEdgeWeighted(src, dst, w)
-	return nil
+	return w, nil
 }
 
 // cutInt parses a leading base-10 integer from s and returns the value,
 // the remainder after separators, and whether parsing succeeded. It is a
 // fast path replacement for Split+ParseInt on hot loader loops.
-func cutInt(s string) (int64, string, bool) {
+func cutInt(s []byte) (int64, []byte, bool) {
 	i := 0
 	for i < len(s) && (s[i] == ' ' || s[i] == '\t' || s[i] == ',') {
 		i++

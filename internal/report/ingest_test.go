@@ -1,0 +1,31 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestIngestTable(t *testing.T) {
+	if IngestTable(nil) != "" {
+		t.Error("empty ingest list should render nothing")
+	}
+	out := IngestTable([]IngestStat{
+		{Graph: "social-500", Source: "social:500", Vertices: 500, Edges: 7000,
+			Duration: 14 * time.Millisecond, Workers: 8, EVPS: 500000},
+		{Graph: "patents", Source: "file:patents.e", Vertices: 100, Edges: 200,
+			Duration: time.Millisecond, EVPS: 200000},
+	})
+	for _, want := range []string{
+		"ingest (graph load)", "EVPS", "social-500", "social:500",
+		"500000", "file:patents.e",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ingest table missing %q:\n%s", want, out)
+		}
+	}
+	// Workers 0 renders as "all" (the all-cores default).
+	if !strings.Contains(out, "all") {
+		t.Errorf("workers=0 should render as \"all\":\n%s", out)
+	}
+}
