@@ -1,0 +1,194 @@
+// Command benchsnap runs the repo's benchmark suite (or parses an
+// existing `go test -bench` log) and writes machine-readable snapshots:
+// BENCH_ingest.json for the graph-ingest benchmarks and BENCH_core.json
+// for everything else. The snapshots give CI and across-commit tooling
+// a stable ns/op record without scraping bench output ad hoc.
+//
+// Usage:
+//
+//	benchsnap                         # run the suite, write BENCH_*.json
+//	benchsnap -bench Figure4 -out .   # subset
+//	go test -bench=. -benchtime=1x -run '^$' . | benchsnap -input -
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics holds the remaining per-op columns (B/op, allocs/op, and
+	// any b.ReportMetric units) keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is one BENCH_*.json file.
+type Snapshot struct {
+	Group      string  `json:"group"` // "core" or "ingest"
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	Generated  string  `json:"generated"` // RFC 3339
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// ingestPrefixes name the benchmarks that exercise the ingest pipeline
+// (file parse, interning, CSR build, platform ETL); they snapshot to
+// BENCH_ingest.json, the rest to BENCH_core.json.
+var ingestPrefixes = []string{
+	"BenchmarkLoadEdgeList",
+	"BenchmarkBuildCSR",
+	"BenchmarkETLTimes",
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		outDir    = flag.String("out", ".", "directory to write BENCH_core.json and BENCH_ingest.json to")
+		benchRe   = flag.String("bench", ".", "go test -bench regexp")
+		benchTime = flag.String("benchtime", "1x", "go test -benchtime value")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		input     = flag.String("input", "", "parse an existing bench log instead of running go test ('-' = stdin)")
+	)
+	flag.Parse()
+
+	var r io.Reader
+	switch *input {
+	case "":
+		cmd := exec.Command("go", "test", "-bench="+*benchRe, "-benchtime="+*benchTime, "-run", "^$", *pkg)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		defer cmd.Wait()
+		r = io.TeeReader(out, os.Stdout)
+	case "-":
+		r = os.Stdin
+	default:
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	entries, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no benchmark result lines found (did the bench run fail?)")
+	}
+
+	core, ingest := split(entries)
+	if err := write(filepath.Join(*outDir, "BENCH_core.json"), "core", core); err != nil {
+		return err
+	}
+	if err := write(filepath.Join(*outDir, "BENCH_ingest.json"), "ingest", ingest); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchsnap: %d core + %d ingest benchmarks -> %s\n",
+		len(core), len(ingest), *outDir)
+	return nil
+}
+
+// benchLine matches `BenchmarkName-8   100   123456 ns/op   extra...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+// Parse extracts benchmark entries from go test -bench output.
+func Parse(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Name: m[1], Iterations: iters, NsPerOp: ns}
+		// The tail alternates "value unit" pairs (B/op, allocs/op,
+		// b.ReportMetric units).
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[fields[i+1]] = v
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// split partitions entries into the core and ingest groups.
+func split(entries []Entry) (core, ingest []Entry) {
+	for _, e := range entries {
+		isIngest := false
+		for _, p := range ingestPrefixes {
+			if strings.HasPrefix(e.Name, p) {
+				isIngest = true
+				break
+			}
+		}
+		if isIngest {
+			ingest = append(ingest, e)
+		} else {
+			core = append(core, e)
+		}
+	}
+	return core, ingest
+}
+
+func write(path, group string, entries []Entry) error {
+	snap := Snapshot{
+		Group:      group,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: entries,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleLog = `goos: linux
+goarch: amd64
+pkg: graphalytics
+BenchmarkPageRankHotLoop/social-5000-8         	     100	  123456 ns/op	  2048 B/op	      12 allocs/op
+BenchmarkLoadEdgeList/parallel-8               	       1	 9876543 ns/op	 5000000 edges/s
+BenchmarkBuildCSR-8                            	       2	  456789.5 ns/op
+BenchmarkETLTimes/pregel-8                     	       1	  111222 ns/op
+not a bench line
+PASS
+`
+
+func TestParse(t *testing.T) {
+	entries, err := Parse(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("got %d entries, want 4: %+v", len(entries), entries)
+	}
+	e := entries[0]
+	if e.Name != "BenchmarkPageRankHotLoop/social-5000" || e.Iterations != 100 || e.NsPerOp != 123456 {
+		t.Fatalf("first entry: %+v", e)
+	}
+	if e.Metrics["B/op"] != 2048 || e.Metrics["allocs/op"] != 12 {
+		t.Fatalf("metrics: %v", e.Metrics)
+	}
+	if entries[1].Metrics["edges/s"] != 5000000 {
+		t.Fatalf("custom metric: %v", entries[1].Metrics)
+	}
+	if entries[2].NsPerOp != 456789.5 {
+		t.Fatalf("fractional ns/op: %v", entries[2].NsPerOp)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	entries, err := Parse(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, ingest := split(entries)
+	if len(core) != 1 || len(ingest) != 3 {
+		t.Fatalf("core=%d ingest=%d, want 1/3", len(core), len(ingest))
+	}
+	if core[0].Name != "BenchmarkPageRankHotLoop/social-5000" {
+		t.Fatalf("core: %+v", core)
+	}
+}
+
+func TestParseEmptyInputYieldsNothing(t *testing.T) {
+	entries, err := Parse(strings.NewReader("PASS\nok  \tgraphalytics\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("got %d entries from benchless log", len(entries))
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -49,6 +50,7 @@ import (
 	"graphalytics/internal/platform"
 	"graphalytics/internal/report"
 	"graphalytics/internal/resultsdb"
+	"graphalytics/internal/telemetry"
 	"graphalytics/internal/workload"
 )
 
@@ -78,8 +80,47 @@ func run() error {
 		seed       = flag.Uint64("seed", 42, "generator / algorithm seed")
 		submitURL  = flag.String("submit", "", "results-database base URL to submit the report to (e.g. http://localhost:8080)")
 		submitter  = flag.String("submitter", "anonymous", "submitter name for -submit")
+		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the campaign to this file (open in chrome://tracing or Perfetto)")
+		metricsAdr = flag.String("metrics-addr", "", "serve Prometheus metrics on this address while the campaign runs (e.g. :9090)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address while the campaign runs (e.g. :6060)")
 	)
 	flag.Parse()
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("creating trace file: %w", err)
+		}
+		telemetry.StartTrace(f)
+		defer func() {
+			if err := telemetry.StopTrace(); err != nil {
+				fmt.Fprintln(os.Stderr, "graphalytics: trace write:", err)
+			}
+			f.Close()
+		}()
+	}
+	if *metricsAdr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.Metrics.Handler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAdr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "graphalytics: metrics listener:", err)
+			}
+		}()
+	}
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "graphalytics: pprof listener:", err)
+			}
+		}()
+	}
 
 	props := config.New()
 	if *configPath != "" {
@@ -338,6 +379,9 @@ func writeReport(dir string, rep *report.Report) error {
 			f5 += "\n" + report.KTEPSTable(rep.Results, algo.SSSP)
 			break
 		}
+	}
+	if res := report.ResourceTable(rep.Results); res != "" {
+		f5 += "\n" + res
 	}
 	if err := os.WriteFile(filepath.Join(dir, "report.txt"), []byte(f4+"\n"+f5), 0o644); err != nil {
 		return err

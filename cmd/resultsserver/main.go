@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"graphalytics/internal/resultsdb"
+	"graphalytics/internal/telemetry"
 )
 
 func main() {
@@ -44,8 +45,16 @@ func run() error {
 			return err
 		}
 	}
+	requests := telemetry.Metrics.Counter("resultsserver_requests_total", "HTTP requests served")
+	api := db.Handler()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Metrics.Handler())
+	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		api.ServeHTTP(w, r)
+	}))
 	fmt.Printf("results database listening on %s (store: %s)\n", *addr, storeDesc(*store))
-	return http.ListenAndServe(*addr, db.Handler())
+	return http.ListenAndServe(*addr, mux)
 }
 
 func storeDesc(path string) string {

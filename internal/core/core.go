@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"graphalytics/internal/platform"
 	"graphalytics/internal/report"
 	"graphalytics/internal/sched"
+	"graphalytics/internal/telemetry"
 	"graphalytics/internal/validation"
 	"graphalytics/internal/workload"
 )
@@ -357,9 +359,17 @@ func (c *campaign) finalAttempt(err error, attempt int) bool {
 // value (the Neo4j/GraphX behaviour on oversized graphs) and the
 // returned error makes the scheduler skip the pair's run jobs.
 func (c *campaign) loadJob(pg *pgState, attempt int) error {
+	sp := telemetry.StartSpan("cell", "load:"+pg.p.Name()+"/"+pg.g.Name())
+	sp.SetAttr("platform", pg.p.Name())
+	sp.SetAttr("graph", pg.g.Name())
+	sp.SetAttr("attempt", attempt)
 	loadStart := time.Now()
 	loaded, err := pg.p.LoadGraph(pg.g)
 	pg.loadTime = time.Since(loadStart)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
 	if err != nil {
 		if c.finalAttempt(err, attempt) {
 			status := report.StatusLoadError
@@ -403,14 +413,27 @@ func (c *campaign) runCellJob(ctx context.Context, pg *pgState, a algo.Kind, slo
 	return nil
 }
 
+// journalWarnOnce gates the stderr warning for journal write failures:
+// one line per process, not one per cell.
+var journalWarnOnce sync.Once
+
 // finishCell publishes a final cell outcome: slot write (collation),
 // journal entry (resume), progress callback (live output). Journal
-// writes are best-effort: a failed write only means the cell re-runs
-// after an interruption.
+// writes are best-effort — a failed write only means the cell re-runs
+// after an interruption — but they are counted and warned about, never
+// silently dropped: a full disk showing up as a mysteriously
+// non-resumable campaign is a debugging trap.
 func (c *campaign) finishCell(slot int, key string, r report.RunResult) {
 	c.cells[slot] = &r
 	if c.journal != nil {
-		_ = c.journal.Record(key, r)
+		if err := c.journal.Record(key, r); err != nil {
+			telemetry.Metrics.Counter("core_journal_write_failures_total",
+				"cell results that failed to journal (cell re-runs on resume)").Inc()
+			journalWarnOnce.Do(func() {
+				fmt.Fprintf(os.Stderr,
+					"core: warning: journal write failed (%v); affected cells will re-run on resume\n", err)
+			})
+		}
 	}
 	if c.b.Progress != nil {
 		c.progressMu.Lock()
@@ -448,9 +471,14 @@ func (c *campaign) runCell(ctx context.Context, pg *pgState, a algo.Kind) (repor
 		if mon != nil {
 			r.Monitor = mon.Stop()
 			mon = nil
+			if len(r.Monitor.Samples) > 0 || r.Monitor.Duration > 0 {
+				env := r.Monitor.Resources()
+				r.Resources = &env
+			}
 		}
 	}
 
+	cellTag := pg.p.Name() + "/" + pg.g.Name() + "/" + string(a)
 	runtimes := make([]time.Duration, 0, total)
 	var res *platform.Result
 	for i := 0; i < total; i++ {
@@ -458,10 +486,23 @@ func (c *campaign) runCell(ctx context.Context, pg *pgState, a algo.Kind) (repor
 		if b.Timeout > 0 {
 			runCtx, cancel = context.WithTimeout(ctx, b.Timeout)
 		}
+		phase := "rep"
+		if i < warmup {
+			phase = "warmup"
+		}
+		sp := telemetry.StartSpan("cell", phase+":"+cellTag)
+		sp.SetAttr("rep", i)
 		start := time.Now()
 		out, err := pg.loaded.Run(runCtx, a, b.Params)
 		d := time.Since(start)
 		cancel()
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+		telemetry.Metrics.Histogram("core_rep_seconds",
+			"single algorithm execution time (warm-ups included)", telemetry.DurationBuckets).
+			Observe(d.Seconds())
 		if err != nil {
 			stopMonitor()
 			r.Runtime = d
@@ -497,7 +538,10 @@ func (c *campaign) runCell(ctx context.Context, pg *pgState, a algo.Kind) (repor
 		r.KTEPS = float64(pg.g.NumEdges()) / r.Runtime.Seconds() / 1000
 	}
 	if b.Validate {
+		vsp := telemetry.StartSpan("cell", "validate:"+cellTag)
 		r.Validation = workload.Validate(pg.g, a, b.Params.WithDefaults(pg.g.NumVertices()), res.Output)
+		vsp.SetAttr("valid", r.Validation.Valid)
+		vsp.End()
 		if !r.Validation.Valid {
 			r.Status = report.StatusInvalid
 			r.Err = fmt.Sprintf("validation: %s", r.Validation.Detail)

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+
+	"graphalytics/internal/telemetry"
 )
 
 // Parallel text ingest (the .v/.e loader's multi-worker path):
@@ -47,14 +49,22 @@ func (e *vertexFileError) Unwrap() error { return e.err }
 // vdata is only consulted when haveVerts is true.
 func ingest(b *Builder, edata, vdata []byte, haveVerts bool, workers int) (*Graph, error) {
 	if haveVerts {
-		if err := ingestVertices(b, vdata, workers); err != nil {
+		sp := telemetry.StartSpan("ingest", "parse-vertices")
+		sp.SetAttr("bytes", len(vdata))
+		err := ingestVertices(b, vdata, workers)
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
 	if err := ingestEdges(b, edata, workers); err != nil {
 		return nil, err
 	}
-	return b.BuildParallel(workers)
+	sp := telemetry.StartSpan("ingest", "build-csr")
+	sp.SetAttr("workers", workers)
+	g, err := b.BuildParallel(workers)
+	sp.End()
+	return g, err
 }
 
 // splitLines splits data into up to parts newline-aligned chunks of
@@ -231,11 +241,15 @@ func parseEdgeChunk(data []byte) edgeChunk {
 // outcomes in file order, densifies the external IDs, and hands the
 // arc arrays to the builder.
 func ingestEdges(b *Builder, edata []byte, workers int) error {
+	psp := telemetry.StartSpan("ingest", "parse-edges")
+	psp.SetAttr("bytes", len(edata))
+	psp.SetAttr("workers", workers)
 	chunks := splitLines(edata, workers)
 	results := make([]edgeChunk, len(chunks))
 	runWorkers(len(chunks), func(i int) {
 		results[i] = parseEdgeChunk(chunks[i])
 	})
+	psp.End()
 
 	// File-order reconciliation: the first decided chunk fixes the
 	// weighted mode; a disagreeing chunk fails at its first edge line
@@ -276,16 +290,22 @@ func ingestEdges(b *Builder, edata []byte, workers int) error {
 			copy(ws[offsets[i]:], results[i].ws)
 		})
 	}
+	isp := telemetry.StartSpan("ingest", "intern")
+	isp.SetAttr("arcs", total)
 	if b.useLabels {
 		// The builder is in label mode (a .v file interned vertices):
 		// resolve against the frozen table and install the dense
 		// arrays directly.
+		isp.SetAttr("mode", "frozen")
 		internFrozen(b, results, offsets, srcs, dsts)
 		b.srcs, b.dsts, b.weights = srcs, dsts, ws
 		b.hasEdges = total > 0
+		isp.End()
 		return nil
 	}
+	isp.SetAttr("mode", "sharded")
 	b.SetLabels(internSharded(results, offsets, srcs, dsts, workers))
+	isp.End()
 	b.AddEdges(srcs, dsts, ws)
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"graphalytics/internal/telemetry"
 )
 
 // Parallel CSR construction: the multi-worker counterpart of buildCSRW.
@@ -57,6 +59,9 @@ func buildCSRWP(n int, srcs, dsts []VertexID, ws []float64, dedup bool, workers 
 	}
 	m := len(srcs)
 
+	hsp := telemetry.StartSpan("ingest", "csr-histogram")
+	hsp.SetAttr("arcs", m)
+	hsp.SetAttr("workers", workers)
 	// 1. Per-worker degree histograms over contiguous arc chunks.
 	// int32 is enough: a within-vertex offset is bounded by the arc
 	// count, which the gate above keeps under 1<<31.
@@ -120,7 +125,10 @@ func buildCSRWP(n int, srcs, dsts []VertexID, ws []float64, dedup bool, workers 
 		}
 	})
 
+	hsp.End()
+
 	// 3. Parallel scatter: worker w owns [index[v]+off, …) per vertex.
+	ssp := telemetry.StartSpan("ingest", "csr-scatter")
 	edges := make([]VertexID, m)
 	var weights []float64
 	if ws != nil {
@@ -145,8 +153,10 @@ func buildCSRWP(n int, srcs, dsts []VertexID, ws []float64, dedup bool, workers 
 		}(counts[w], srcs[lo:hi], dsts[lo:hi], wsSlice(ws, lo, hi))
 	}
 	wg.Wait()
+	ssp.End()
 
 	// 4. Per-vertex adjacency sort over arc-balanced vertex ranges.
+	sosp := telemetry.StartSpan("ingest", "csr-sort")
 	ranges := balancedVertexRanges(index, n, workers)
 	for _, r := range ranges {
 		wg.Add(1)
@@ -164,10 +174,13 @@ func buildCSRWP(n int, srcs, dsts []VertexID, ws []float64, dedup bool, workers 
 		}(r[0], r[1])
 	}
 	wg.Wait()
+	sosp.End()
 	if !dedup {
 		return index, edges, weights
 	}
 
+	dsp := telemetry.StartSpan("ingest", "csr-dedup")
+	defer dsp.End()
 	// 5. Parallel dedup: compact each adjacency in place recording the
 	// surviving degree, prefix-sum the new index, then copy survivors
 	// into exactly sized arrays. (In-place global compaction would let

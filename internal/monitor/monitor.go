@@ -1,14 +1,20 @@
 // Package monitor implements the System Monitor of the Graphalytics
 // architecture (Figure 2): it is "responsible for gathering resource
 // utilization statistics from the SUT" while a benchmark job runs. The
-// monitor samples the Go runtime (heap, goroutines, GC) on a fixed
-// interval and reports a timeline plus peak values.
+// monitor samples the Go runtime (heap, goroutines, GC) and, where the
+// OS exposes it (Linux /proc), process-level CPU time and resident-set
+// size on a fixed interval; it reports the timeline, peak values,
+// percentiles over the sampled timeline, and the CPU/GC envelope of
+// the session.
 package monitor
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"time"
+
+	"graphalytics/internal/telemetry"
 )
 
 // Sample is one resource-utilization observation.
@@ -17,6 +23,12 @@ type Sample struct {
 	HeapBytes  uint64
 	Goroutines int
 	GCCount    uint32
+	// RSSBytes is the OS-reported resident set size (0 where the OS
+	// probe is unavailable).
+	RSSBytes uint64
+	// CPUTime is cumulative process CPU (user+system) consumed since
+	// monitoring started (0 where unavailable).
+	CPUTime time.Duration
 }
 
 // Report summarizes a monitoring session.
@@ -26,18 +38,118 @@ type Report struct {
 	PeakGoroutines int
 	GCCycles       uint32
 	Duration       time.Duration
+	// PeakRSSBytes is the maximum sampled resident set size (0 where
+	// the OS probe is unavailable).
+	PeakRSSBytes uint64
+	// CPUTime is the process CPU (user+system) consumed during the
+	// session (0 where unavailable).
+	CPUTime time.Duration
+	// GCPauseTotal is the stop-the-world pause time accumulated during
+	// the session.
+	GCPauseTotal time.Duration
 }
 
-// Monitor samples resource usage in the background.
-type Monitor struct {
-	interval time.Duration
+// Resources is the JSON-friendly envelope of a monitoring session: the
+// peaks, the CPU/GC totals, and percentiles over the sampled timeline
+// — the summary the report layer embeds per cell instead of dropping
+// the timeline on the floor.
+type Resources struct {
+	Samples        int           `json:"samples"`
+	Duration       time.Duration `json:"duration_ns"`
+	PeakHeapBytes  uint64        `json:"peak_heap_bytes"`
+	HeapP50Bytes   uint64        `json:"heap_p50_bytes,omitempty"`
+	HeapP95Bytes   uint64        `json:"heap_p95_bytes,omitempty"`
+	HeapP99Bytes   uint64        `json:"heap_p99_bytes,omitempty"`
+	PeakGoroutines int           `json:"peak_goroutines"`
+	GCCycles       uint32        `json:"gc_cycles"`
+	GCPauseTotal   time.Duration `json:"gc_pause_total_ns,omitempty"`
+	PeakRSSBytes   uint64        `json:"peak_rss_bytes,omitempty"`
+	RSSP50Bytes    uint64        `json:"rss_p50_bytes,omitempty"`
+	RSSP99Bytes    uint64        `json:"rss_p99_bytes,omitempty"`
+	CPUTime        time.Duration `json:"cpu_time_ns,omitempty"`
+	// CPUMeanPercent is mean CPU utilization over the session: 100 ×
+	// cpu-seconds per wall-second (a 4-core-saturating run reads 400).
+	CPUMeanPercent float64 `json:"cpu_mean_percent,omitempty"`
+}
+
+// Resources summarizes the report, reducing the sampled timeline to
+// percentiles.
+func (r Report) Resources() Resources {
+	res := Resources{
+		Samples:        len(r.Samples),
+		Duration:       r.Duration,
+		PeakHeapBytes:  r.PeakHeapBytes,
+		PeakGoroutines: r.PeakGoroutines,
+		GCCycles:       r.GCCycles,
+		GCPauseTotal:   r.GCPauseTotal,
+		PeakRSSBytes:   r.PeakRSSBytes,
+		CPUTime:        r.CPUTime,
+	}
+	if len(r.Samples) > 0 {
+		heap := make([]uint64, len(r.Samples))
+		rss := make([]uint64, len(r.Samples))
+		for i, s := range r.Samples {
+			heap[i] = s.HeapBytes
+			rss[i] = s.RSSBytes
+		}
+		sortU64(heap)
+		sortU64(rss)
+		res.HeapP50Bytes = percentileU64(heap, 50)
+		res.HeapP95Bytes = percentileU64(heap, 95)
+		res.HeapP99Bytes = percentileU64(heap, 99)
+		if res.PeakRSSBytes > 0 {
+			res.RSSP50Bytes = percentileU64(rss, 50)
+			res.RSSP99Bytes = percentileU64(rss, 99)
+		}
+	}
+	if r.Duration > 0 && r.CPUTime > 0 {
+		res.CPUMeanPercent = 100 * float64(r.CPUTime) / float64(r.Duration)
+	}
+	return res
+}
+
+func sortU64(v []uint64) {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+}
+
+// percentileU64 returns the p-th percentile (nearest-rank) of sorted v.
+func percentileU64(sorted []uint64, p int) uint64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// session is the state of one Start..Stop interval. Every sampling
+// goroutine owns exactly one session, so a Start racing a draining
+// Stop can never mix two sessions' samples.
+type session struct {
 	mu       sync.Mutex
 	samples  []Sample
 	stop     chan struct{}
 	done     chan struct{}
 	start    time.Time
 	startGC  uint32
-	running  bool
+	startCPU time.Duration
+	startGCP uint64 // PauseTotalNs at start
+}
+
+// Monitor samples resource usage in the background. Start and Stop may
+// be called repeatedly and concurrently: Start on a running monitor is
+// a no-op, Stop on a stopped monitor returns the last completed
+// session's report, and a stopped monitor restarts cleanly.
+type Monitor struct {
+	interval time.Duration
+	mu       sync.Mutex
+	cur      *session // non-nil while running
+	last     Report   // report of the most recent completed session
 }
 
 // New returns a monitor sampling at the given interval (default 10ms).
@@ -48,79 +160,117 @@ func New(interval time.Duration) *Monitor {
 	return &Monitor{interval: interval}
 }
 
-// Start begins sampling. It is an error to start a running monitor.
+// Start begins sampling. Starting a running monitor is a no-op.
 func (m *Monitor) Start() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.running {
+	if m.cur != nil {
 		return
 	}
-	m.running = true
-	m.samples = nil
-	m.stop = make(chan struct{})
-	m.done = make(chan struct{})
-	m.start = time.Now()
+	s := &session{
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		start: time.Now(),
+	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	m.startGC = ms.NumGC
-	go m.loop()
+	s.startGC = ms.NumGC
+	s.startGCP = ms.PauseTotalNs
+	if os, ok := readOSStats(); ok {
+		s.startCPU = os.cpu
+	}
+	m.cur = s
+	go m.loop(s)
 }
 
-func (m *Monitor) loop() {
-	defer close(m.done)
+func (m *Monitor) loop(s *session) {
+	defer close(s.done)
 	tick := time.NewTicker(m.interval)
 	defer tick.Stop()
-	m.sample()
+	s.sample()
 	for {
 		select {
-		case <-m.stop:
-			m.sample()
+		case <-s.stop:
+			s.sample()
 			return
 		case <-tick.C:
-			m.sample()
+			s.sample()
 		}
 	}
 }
 
-func (m *Monitor) sample() {
+func (s *session) sample() {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	s := Sample{
-		At:         time.Since(m.start),
+	smp := Sample{
+		At:         time.Since(s.start),
 		HeapBytes:  ms.HeapAlloc,
 		Goroutines: runtime.NumGoroutine(),
 		GCCount:    ms.NumGC,
 	}
-	m.mu.Lock()
-	m.samples = append(m.samples, s)
-	m.mu.Unlock()
+	if os, ok := readOSStats(); ok {
+		smp.RSSBytes = os.rssBytes
+		if d := os.cpu - s.startCPU; d > 0 {
+			smp.CPUTime = d
+		}
+	}
+	// Live view for the -metrics-addr Prometheus listener.
+	telemetry.Metrics.Gauge("monitor_heap_bytes", "sampled Go heap in use").Set(float64(smp.HeapBytes))
+	telemetry.Metrics.Gauge("monitor_goroutines", "sampled goroutine count").Set(float64(smp.Goroutines))
+	if smp.RSSBytes > 0 {
+		telemetry.Metrics.Gauge("monitor_rss_bytes", "sampled resident set size").Set(float64(smp.RSSBytes))
+	}
+	s.mu.Lock()
+	s.samples = append(s.samples, smp)
+	s.mu.Unlock()
 }
 
-// Stop ends sampling and returns the report.
+// Stop ends sampling and returns the report. Stopping an already
+// stopped monitor returns the previous session's report (idempotent);
+// stopping a never-started monitor returns an empty report.
 func (m *Monitor) Stop() Report {
 	m.mu.Lock()
-	if !m.running {
+	s := m.cur
+	if s == nil {
+		last := m.last
 		m.mu.Unlock()
-		return Report{}
+		return last
 	}
-	m.running = false
+	m.cur = nil
 	m.mu.Unlock()
-	close(m.stop)
-	<-m.done
+
+	close(s.stop)
+	<-s.done
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	s.mu.Lock()
+	r := Report{Samples: s.samples, Duration: time.Since(s.start)}
+	s.mu.Unlock()
+	for _, smp := range r.Samples {
+		if smp.HeapBytes > r.PeakHeapBytes {
+			r.PeakHeapBytes = smp.HeapBytes
+		}
+		if smp.Goroutines > r.PeakGoroutines {
+			r.PeakGoroutines = smp.Goroutines
+		}
+		if smp.RSSBytes > r.PeakRSSBytes {
+			r.PeakRSSBytes = smp.RSSBytes
+		}
+		if smp.CPUTime > r.CPUTime {
+			r.CPUTime = smp.CPUTime
+		}
+	}
+	if n := len(r.Samples); n > 0 {
+		r.GCCycles = r.Samples[n-1].GCCount - s.startGC
+	}
+	if ms.PauseTotalNs >= s.startGCP {
+		r.GCPauseTotal = time.Duration(ms.PauseTotalNs - s.startGCP)
+	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	r := Report{Samples: m.samples, Duration: time.Since(m.start)}
-	for _, s := range m.samples {
-		if s.HeapBytes > r.PeakHeapBytes {
-			r.PeakHeapBytes = s.HeapBytes
-		}
-		if s.Goroutines > r.PeakGoroutines {
-			r.PeakGoroutines = s.Goroutines
-		}
-	}
-	if n := len(m.samples); n > 0 {
-		r.GCCycles = m.samples[n-1].GCCount - m.startGC
-	}
+	m.last = r
+	m.mu.Unlock()
 	return r
 }

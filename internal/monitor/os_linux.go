@@ -1,0 +1,79 @@
+//go:build linux
+
+package monitor
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"time"
+)
+
+// userHZ is the kernel clock-tick rate /proc/self/stat counts CPU time
+// in. USER_HZ has been fixed at 100 on every Linux ABI Go supports;
+// reading it via sysconf would need cgo, which the repo avoids.
+const userHZ = 100
+
+// osStats is one OS-level observation of this process.
+type osStats struct {
+	rssBytes uint64        // current resident set size (VmRSS)
+	hwmBytes uint64        // high-water resident set size (VmHWM)
+	cpu      time.Duration // cumulative user+system CPU time
+}
+
+// readOSStats samples /proc/self/stat (CPU) and /proc/self/status
+// (RSS). It reports ok=false if either file is unreadable — callers
+// then fall back to runtime-only sampling.
+func readOSStats() (osStats, bool) {
+	var st osStats
+	stat, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return st, false
+	}
+	// Fields after the comm field, which is parenthesised and may
+	// contain spaces: cut at the last ')'. utime and stime are fields
+	// 14 and 15 (1-based), i.e. indices 11 and 12 of the remainder.
+	i := bytes.LastIndexByte(stat, ')')
+	if i < 0 || i+2 > len(stat) {
+		return st, false
+	}
+	fields := bytes.Fields(stat[i+2:])
+	if len(fields) < 13 {
+		return st, false
+	}
+	utime, err1 := strconv.ParseUint(string(fields[11]), 10, 64)
+	stime, err2 := strconv.ParseUint(string(fields[12]), 10, 64)
+	if err1 != nil || err2 != nil {
+		return st, false
+	}
+	st.cpu = time.Duration(utime+stime) * (time.Second / userHZ)
+
+	status, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return st, false
+	}
+	st.rssBytes = statusKB(status, "VmRSS:") * 1024
+	st.hwmBytes = statusKB(status, "VmHWM:") * 1024
+	return st, true
+}
+
+// statusKB extracts a "Key:   N kB" value from /proc/self/status.
+func statusKB(status []byte, key string) uint64 {
+	i := bytes.Index(status, []byte(key))
+	if i < 0 {
+		return 0
+	}
+	rest := status[i+len(key):]
+	if nl := bytes.IndexByte(rest, '\n'); nl >= 0 {
+		rest = rest[:nl]
+	}
+	fields := bytes.Fields(rest)
+	if len(fields) == 0 {
+		return 0
+	}
+	n, err := strconv.ParseUint(string(fields[0]), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,17 @@
+//go:build !linux
+
+package monitor
+
+import "time"
+
+// osStats is one OS-level observation of this process.
+type osStats struct {
+	rssBytes uint64
+	hwmBytes uint64
+	cpu      time.Duration
+}
+
+// readOSStats is the portable fallback: no OS-level sampling. The
+// monitor degrades to Go-runtime-only metrics (heap, goroutines, GC)
+// and the report's RSS/CPU fields stay zero.
+func readOSStats() (osStats, bool) { return osStats{}, false }

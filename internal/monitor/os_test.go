@@ -1,0 +1,133 @@
+package monitor
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStopIsIdempotent(t *testing.T) {
+	m := New(time.Millisecond)
+	m.Start()
+	time.Sleep(5 * time.Millisecond)
+	first := m.Stop()
+	second := m.Stop()
+	if len(first.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	if len(second.Samples) != len(first.Samples) || second.Duration != first.Duration {
+		t.Fatalf("second Stop differs: %d/%v vs %d/%v",
+			len(second.Samples), second.Duration, len(first.Samples), first.Duration)
+	}
+}
+
+func TestOSLevelSampling(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("OS probe is Linux-only; fallback degrades to runtime metrics")
+	}
+	os, ok := readOSStats()
+	if !ok {
+		t.Fatal("readOSStats failed on Linux")
+	}
+	if os.rssBytes == 0 {
+		t.Error("VmRSS is zero")
+	}
+	if os.hwmBytes < os.rssBytes {
+		t.Errorf("VmHWM %d < VmRSS %d", os.hwmBytes, os.rssBytes)
+	}
+
+	m := New(time.Millisecond)
+	m.Start()
+	// Burn CPU so utime moves past a 10ms tick.
+	deadline := time.Now().Add(30 * time.Millisecond)
+	x := rand.New(rand.NewSource(1))
+	var sink float64
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1000; i++ {
+			sink += x.Float64()
+		}
+	}
+	_ = sink
+	rep := m.Stop()
+	if rep.PeakRSSBytes == 0 {
+		t.Error("peak RSS not sampled")
+	}
+	res := rep.Resources()
+	if res.RSSP50Bytes == 0 || res.RSSP50Bytes > res.PeakRSSBytes {
+		t.Errorf("RSS p50 %d vs peak %d", res.RSSP50Bytes, res.PeakRSSBytes)
+	}
+	// CPU time moves in 10ms ticks; a 30ms burn may still read zero on
+	// an overloaded machine, so only sanity-check when present.
+	if rep.CPUTime > 0 && res.CPUMeanPercent <= 0 {
+		t.Error("CPU time recorded but mean percent is zero")
+	}
+}
+
+func TestResourcesPercentiles(t *testing.T) {
+	rep := Report{Duration: time.Second, CPUTime: 2 * time.Second}
+	for i := 1; i <= 100; i++ {
+		rep.Samples = append(rep.Samples, Sample{
+			HeapBytes: uint64(i) * 10,
+			RSSBytes:  uint64(i) * 100,
+		})
+		if uint64(i)*100 > rep.PeakRSSBytes {
+			rep.PeakRSSBytes = uint64(i) * 100
+		}
+	}
+	res := rep.Resources()
+	if res.HeapP50Bytes != 500 || res.HeapP95Bytes != 950 || res.HeapP99Bytes != 990 {
+		t.Errorf("heap percentiles: p50=%d p95=%d p99=%d", res.HeapP50Bytes, res.HeapP95Bytes, res.HeapP99Bytes)
+	}
+	if res.RSSP50Bytes != 5000 || res.RSSP99Bytes != 9900 {
+		t.Errorf("rss percentiles: p50=%d p99=%d", res.RSSP50Bytes, res.RSSP99Bytes)
+	}
+	if res.CPUMeanPercent != 200 {
+		t.Errorf("cpu mean = %v, want 200", res.CPUMeanPercent)
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if got := percentileU64(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %d", got)
+	}
+	if got := percentileU64([]uint64{7}, 99); got != 7 {
+		t.Errorf("single-sample p99 = %d", got)
+	}
+	if got := percentileU64([]uint64{1, 2}, 1); got != 1 {
+		t.Errorf("p1 of two = %d", got)
+	}
+}
+
+// TestConcurrentStartStop hammers Start/Stop from many goroutines; the
+// race detector verifies no session state is shared unsafely and no
+// late sampler writes into a newer session.
+func TestConcurrentStartStop(t *testing.T) {
+	m := New(100 * time.Microsecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if (i+j)%2 == 0 {
+					m.Start()
+				} else {
+					m.Stop()
+				}
+				time.Sleep(time.Duration(i%3) * 100 * time.Microsecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	m.Stop() // leave it stopped
+
+	// The monitor must still work after the storm.
+	m.Start()
+	time.Sleep(3 * time.Millisecond)
+	rep := m.Stop()
+	if len(rep.Samples) == 0 {
+		t.Fatal("monitor unusable after concurrent start/stop storm")
+	}
+}

@@ -32,6 +32,7 @@ import (
 
 	"graphalytics/internal/graph"
 	"graphalytics/internal/platform"
+	"graphalytics/internal/telemetry"
 )
 
 // ComputeFunc is the vertex program executed each superstep. msgs holds
@@ -284,6 +285,9 @@ func (e *Engine[M]) Run(ctx context.Context, compute ComputeFunc[M], master Mast
 			break
 		}
 		e.Counters.Supersteps++
+		ssp := telemetry.StartSpan("pregel", "superstep")
+		ssp.SetAttr("step", e.step)
+		ssp.SetAttr("active", active)
 
 		// Compute phase.
 		var wg sync.WaitGroup
@@ -383,6 +387,8 @@ func (e *Engine[M]) Run(ctx context.Context, compute ComputeFunc[M], master Mast
 		}
 		dwg.Wait()
 		e.inbox, e.next = e.next, e.inbox
+		ssp.SetAttr("messages", totalSent)
+		ssp.End()
 
 		// Master hook sees aggregated values, publishes for the next step.
 		e.aggPrev = e.aggCur

@@ -63,6 +63,9 @@ type RunResult struct {
 	// Attempts counts executions of this cell including scheduler
 	// retries of transient failures (0 and 1 both mean one attempt).
 	Attempts int `json:"attempts,omitempty"`
+	// Resources is the monitoring envelope of the cell (peaks,
+	// percentiles, CPU/GC totals); nil when monitoring was disabled.
+	Resources *monitor.Resources `json:"resources,omitempty"`
 }
 
 // IngestStat records the ingest phase of one dataset: the wall-clock
@@ -266,6 +269,59 @@ func IngestTable(ingests []IngestStat) string {
 			in.Duration.Round(10*time.Microsecond), in.EVPS, in.Source)
 	}
 	return b.String()
+}
+
+// ResourceTable renders the per-cell phase breakdown (load vs compute
+// wall time) and resource envelope (peak RSS, peak heap, mean CPU, GC
+// pause) sampled by the System Monitor. Cells without monitoring data
+// are omitted; the table is empty if no cell was monitored.
+func ResourceTable(results []RunResult) string {
+	any := false
+	for _, r := range results {
+		if r.Resources != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("=== resources (per cell: phase breakdown + envelope) ===\n")
+	fmt.Fprintf(&b, "%-10s %-12s %-6s %10s %10s %10s %10s %8s %10s\n",
+		"platform", "graph", "algo", "load", "compute", "peak RSS", "peak heap", "CPU%", "GC pause")
+	for _, r := range results {
+		if r.Resources == nil {
+			continue
+		}
+		res := r.Resources
+		rss := "n/a"
+		if res.PeakRSSBytes > 0 {
+			rss = formatBytes(res.PeakRSSBytes)
+		}
+		cpu := "n/a"
+		if res.CPUMeanPercent > 0 {
+			cpu = fmt.Sprintf("%.0f", res.CPUMeanPercent)
+		}
+		fmt.Fprintf(&b, "%-10s %-12s %-6s %10s %10s %10s %10s %8s %10s\n",
+			r.Platform, r.Graph, r.Algorithm,
+			formatSeconds(r.LoadTime), formatSeconds(r.Runtime),
+			rss, formatBytes(res.PeakHeapBytes), cpu,
+			res.GCPauseTotal.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+func formatBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.0f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
 }
 
 // WriteCSV writes all results as CSV.

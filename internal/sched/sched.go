@@ -20,6 +20,8 @@ import (
 	"runtime"
 	"sort"
 	"time"
+
+	"graphalytics/internal/telemetry"
 )
 
 // Job is one schedulable unit of campaign work.
@@ -126,6 +128,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) (Results, error) {
 		workers: workers,
 		results: make(Results, len(jobs)),
 		doomed:  make([]error, len(jobs)),
+		readyAt: make([]time.Time, len(jobs)),
 		active:  make(map[string]int),
 	}
 	return s.run(ctx)
@@ -145,6 +148,9 @@ type state struct {
 	// always starts the lowest-index eligible job, so Parallelism = 1
 	// reproduces the sequential nested-loop schedule exactly.
 	ready []int
+	// readyAt records when each job entered the ready queue, so the
+	// trace can split queue wait from execution time.
+	readyAt []time.Time
 	// active counts running jobs per class.
 	active   map[string]int
 	inflight int
@@ -158,19 +164,43 @@ type completion struct {
 	attempts int
 }
 
+// dispatched is what a worker receives per job: the job index and how
+// long the job sat in the ready queue before a slot opened.
+type dispatched struct {
+	idx       int
+	queueWait time.Duration
+}
+
 func (s *state) run(ctx context.Context) (Results, error) {
 	jobs := s.dag.jobs
 	// Buffered so neither side ever blocks: at most len(jobs) dispatches
 	// and completions flow through each channel.
-	dispatch := make(chan int, len(jobs))
+	dispatch := make(chan dispatched, len(jobs))
 	completed := make(chan completion, len(jobs))
 	for w := 0; w < s.workers; w++ {
-		go func() {
-			for idx := range dispatch {
-				err, attempts := runWithRetry(ctx, jobs[idx], s.opts.Retry)
-				completed <- completion{idx: idx, err: err, attempts: attempts}
+		go func(worker int) {
+			for d := range dispatch {
+				job := jobs[d.idx]
+				sp := telemetry.StartSpanT("sched", "job:"+job.ID, worker)
+				sp.SetAttr("class", job.Class)
+				sp.SetAttr("queue_wait_us", d.queueWait)
+				execStart := time.Now()
+				err, attempts := runWithRetry(ctx, job, s.opts.Retry)
+				exec := time.Since(execStart)
+				sp.SetAttr("attempts", attempts)
+				if err != nil {
+					sp.SetAttr("error", err.Error())
+				}
+				sp.End()
+				telemetry.Metrics.Histogram("sched_queue_wait_seconds",
+					"time jobs spent ready but undispatched", telemetry.DurationBuckets).
+					Observe(d.queueWait.Seconds())
+				telemetry.Metrics.Histogram("sched_execute_seconds",
+					"job execution time (including retries)", telemetry.DurationBuckets).
+					Observe(exec.Seconds())
+				completed <- completion{idx: d.idx, err: err, attempts: attempts}
 			}
-		}()
+		}(w)
 	}
 	defer close(dispatch)
 
@@ -234,13 +264,14 @@ func (s *state) enqueue(i int) {
 	s.ready = append(s.ready, 0)
 	copy(s.ready[at+1:], s.ready[at:])
 	s.ready[at] = i
+	s.readyAt[i] = time.Now()
 }
 
 // dispatchReady starts ready jobs while worker slots remain, always
 // picking the lowest-index job whose class has capacity. Jobs whose
 // class is saturated (or that exceed the worker count) stay in the
 // ready queue for the next completion to reconsider.
-func (s *state) dispatchReady(dispatch chan<- int) {
+func (s *state) dispatchReady(dispatch chan<- dispatched) {
 	for s.inflight < s.workers {
 		picked := -1
 		for k, i := range s.ready {
@@ -258,7 +289,7 @@ func (s *state) dispatchReady(dispatch chan<- int) {
 		s.ready = append(s.ready[:picked], s.ready[picked+1:]...)
 		s.active[s.dag.jobs[i].Class]++
 		s.inflight++
-		dispatch <- i
+		dispatch <- dispatched{idx: i, queueWait: time.Since(s.readyAt[i])}
 	}
 }
 
@@ -269,6 +300,8 @@ func (s *state) dispatchReady(dispatch chan<- int) {
 func (s *state) resolve(i int, r JobResult) {
 	s.results[r.ID] = r
 	s.resolved++
+	telemetry.Metrics.Counter("sched_jobs_"+statusMetric(r.Status)+"_total",
+		"jobs resolved with status "+string(r.Status)).Inc()
 	if s.opts.OnDone != nil {
 		s.opts.OnDone(r)
 	}
@@ -292,6 +325,21 @@ func firstErr(errs ...error) error {
 	return fmt.Errorf("dependency failed")
 }
 
+// statusMetric maps a job status to a metric-name-safe token.
+func statusMetric(s Status) string {
+	switch s {
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case SkippedDep:
+		return "skipped_dep"
+	case SkippedJournal:
+		return "skipped_journal"
+	}
+	return "unknown"
+}
+
 // runWithRetry executes one job under the retry policy and reports the
 // final error and the number of attempts made.
 func runWithRetry(ctx context.Context, job Job, policy RetryPolicy) (error, int) {
@@ -304,6 +352,8 @@ func runWithRetry(ctx context.Context, job Job, policy RetryPolicy) (error, int)
 		if !policy.WillRetry(err, attempt) {
 			return err, attempt
 		}
+		telemetry.Metrics.Counter("sched_job_retries_total",
+			"job attempts re-run after a retryable failure").Inc()
 		if backoff > 0 {
 			select {
 			case <-time.After(backoff):

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs executed")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("jobs_total", "") != c {
+		t.Fatal("Counter is not idempotent per name")
+	}
+
+	g := r.Gauge("rss_bytes", "resident set size")
+	g.Set(123.5)
+	if got := g.Value(); got != 123.5 {
+		t.Fatalf("gauge = %v", got)
+	}
+
+	h := r.Histogram("phase_seconds", "phase durations", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	want := []uint64{1, 2, 1, 1}
+	for i, n := range want {
+		if s.Counts[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Counts[i], n, s.Counts)
+		}
+	}
+	if s.Count != 5 || s.Sum != 56.05 {
+		t.Fatalf("count/sum = %d/%v", s.Count, s.Sum)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(3)
+	r.Gauge("b", "").Set(2)
+	r.Histogram("c", "", []float64{1}).Observe(0.5)
+	s := r.Snapshot()
+	if s.Counters["a_total"] != 3 || s.Gauges["b"] != 2 || s.Histograms["c"].Count != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sched_jobs_total", "jobs executed").Add(7)
+	r.Gauge("monitor_rss_bytes", "resident set").Set(1024)
+	h := r.Histogram("cell_seconds", "cell runtimes", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE sched_jobs_total counter",
+		"sched_jobs_total 7",
+		"# TYPE monitor_rss_bytes gauge",
+		"monitor_rss_bytes 1024",
+		"# TYPE cell_seconds histogram",
+		`cell_seconds_bucket{le="0.1"} 1`,
+		`cell_seconds_bucket{le="1"} 2`,
+		`cell_seconds_bucket{le="+Inf"} 3`,
+		"cell_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Served over HTTP with the right content type.
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n", "").Inc()
+				r.Gauge("g", "").Set(float64(j))
+				r.Histogram("h", "", DurationBuckets).Observe(float64(j) / 100)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n", "").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", "", nil).snapshot().Count; got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
