@@ -1,0 +1,170 @@
+// Command benchdiff compares two benchsnap snapshots (BENCH_*.json)
+// with noise-aware thresholds and renders the verdicts as markdown or
+// JSON — the CI gate that turns the bench trajectory into a decision
+// instead of prose. It exits 0 when nothing regressed, 1 when at least
+// one benchmark regressed beyond threshold, and 2 on usage/IO errors,
+// so a pipeline can gate (or warn) on perf directly.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json                  # markdown, exit 1 on regression
+//	benchdiff -format json OLD.json NEW.json
+//	benchdiff -threshold 0.15 -min-effect 100us OLD.json NEW.json
+//	benchdiff -history BENCH_history.jsonl -commit $(git rev-parse HEAD) OLD.json NEW.json
+//
+// With -history the NEW snapshot's aggregate is appended to the
+// append-only JSONL trend file keyed by commit (one line per commit and
+// group), giving per-benchmark trend lines across PRs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"graphalytics/internal/perfhist"
+)
+
+func main() {
+	code, err := run(os.Stdout, os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the diff and returns the process exit code (0 = clean,
+// 1 = regression under -fail-on).
+func run(w io.Writer, args []string) (int, error) {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	var (
+		format    = fs.String("format", "markdown", "output format: markdown or json")
+		threshold = fs.Float64("threshold", 0.10, "relative ns/op delta considered significant")
+		minEffect = fs.Duration("min-effect", 50*time.Microsecond, "absolute per-op delta floor; smaller deltas are never flagged")
+		sigmas    = fs.Float64("sigmas", 3, "noise widening: threshold grows to k·σ_rel when multi-sample variance is present")
+		failOn    = fs.String("fail-on", "regressed", "exit non-zero when this verdict appears: regressed or none")
+		history   = fs.String("history", "", "append the NEW snapshot's aggregate to this BENCH_history.jsonl trend file")
+		commit    = fs.String("commit", "", "commit key for -history (defaults to the snapshot's own commit field)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() != 2 {
+		return 2, fmt.Errorf("usage: benchdiff [flags] OLD.json NEW.json")
+	}
+	if *failOn != "regressed" && *failOn != "none" {
+		return 2, fmt.Errorf("-fail-on must be regressed or none, got %q", *failOn)
+	}
+
+	old, err := perfhist.ReadSnapshot(fs.Arg(0))
+	if err != nil {
+		return 2, err
+	}
+	cur, err := perfhist.ReadSnapshot(fs.Arg(1))
+	if err != nil {
+		return 2, err
+	}
+
+	deltas := perfhist.Compare(old, cur, perfhist.Options{
+		Threshold:   *threshold,
+		MinEffectNs: float64(minEffect.Nanoseconds()),
+		NoiseSigmas: *sigmas,
+	})
+
+	switch *format {
+	case "markdown":
+		writeMarkdown(w, fs.Arg(0), fs.Arg(1), deltas)
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diffReport{
+			Old: fs.Arg(0), New: fs.Arg(1),
+			Summary: perfhist.Summary(deltas), Deltas: deltas,
+		}); err != nil {
+			return 2, err
+		}
+	default:
+		return 2, fmt.Errorf("unknown -format %q (markdown or json)", *format)
+	}
+
+	if *history != "" {
+		e := perfhist.HistoryFromSnapshot(cur)
+		if *commit != "" {
+			e.Commit = *commit
+		}
+		if err := perfhist.AppendHistory(*history, e); err != nil {
+			return 2, fmt.Errorf("appending history: %w", err)
+		}
+	}
+
+	if *failOn == "regressed" && perfhist.Summary(deltas)[perfhist.Regressed] > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// diffReport is the -format json document.
+type diffReport struct {
+	Old     string                   `json:"old"`
+	New     string                   `json:"new"`
+	Summary map[perfhist.Verdict]int `json:"summary"`
+	Deltas  []perfhist.Delta         `json:"deltas"`
+}
+
+// writeMarkdown renders the diff as a GitHub-flavoured markdown table:
+// the significant verdicts in full, unchanged collapsed to a count.
+func writeMarkdown(w io.Writer, oldPath, newPath string, deltas []perfhist.Delta) {
+	sum := perfhist.Summary(deltas)
+	fmt.Fprintf(w, "## Benchmark diff: `%s` → `%s`\n\n", oldPath, newPath)
+	fmt.Fprintf(w, "**%d regressed · %d improved · %d new · %d removed · %d unchanged**\n\n",
+		sum[perfhist.Regressed], sum[perfhist.Improved], sum[perfhist.New],
+		sum[perfhist.Removed], sum[perfhist.Unchanged])
+
+	significant := 0
+	for _, d := range deltas {
+		if d.Verdict != perfhist.Unchanged {
+			significant++
+		}
+	}
+	if significant == 0 {
+		fmt.Fprintln(w, "No significant changes.")
+		return
+	}
+
+	fmt.Fprintln(w, "| verdict | benchmark | old | new | Δ | threshold |")
+	fmt.Fprintln(w, "|---|---|---:|---:|---:|---:|")
+	for _, d := range deltas {
+		if d.Verdict == perfhist.Unchanged {
+			continue
+		}
+		delta := "-"
+		if d.OldMean > 0 && d.NewMean > 0 {
+			delta = fmt.Sprintf("%+.1f%%", d.RelDelta()*100)
+		}
+		thr := "-"
+		if d.Threshold > 0 {
+			thr = fmt.Sprintf("%.0f%%", d.Threshold*100)
+		}
+		fmt.Fprintf(w, "| %s | `%s` | %s | %s | %s | %s |\n",
+			marker(d.Verdict), d.Name,
+			perfhist.FormatNs(d.OldMean), perfhist.FormatNs(d.NewMean), delta, thr)
+	}
+}
+
+func marker(v perfhist.Verdict) string {
+	switch v {
+	case perfhist.Regressed:
+		return "🔴 regressed"
+	case perfhist.Improved:
+		return "🟢 improved"
+	case perfhist.New:
+		return "➕ new"
+	case perfhist.Removed:
+		return "➖ removed"
+	}
+	return string(v)
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphalytics/internal/perfhist"
+)
+
+// writeSnap writes a snapshot fixture and returns its path.
+func writeSnap(t *testing.T, dir, name string, s perfhist.Snapshot) string {
+	t.Helper()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fixturePair(t *testing.T) (oldPath, newPath string) {
+	dir := t.TempDir()
+	oldPath = writeSnap(t, dir, "old.json", perfhist.Snapshot{
+		Group: "core",
+		Benchmarks: []perfhist.Entry{
+			{Name: "BenchmarkPageRankHotLoop", Iterations: 10, NsPerOp: 5e7},
+			{Name: "BenchmarkBFSHotLoop", Iterations: 10, NsPerOp: 2e7},
+		},
+	})
+	newPath = writeSnap(t, dir, "new.json", perfhist.Snapshot{
+		Group: "core",
+		Benchmarks: []perfhist.Entry{
+			// Injected 2× slowdown.
+			{Name: "BenchmarkPageRankHotLoop", Iterations: 10, NsPerOp: 1e8},
+			{Name: "BenchmarkBFSHotLoop", Iterations: 10, NsPerOp: 2e7},
+		},
+	})
+	return oldPath, newPath
+}
+
+func TestInjectedSlowdownExitsNonZeroAndNamesBenchmark(t *testing.T) {
+	oldPath, newPath := fixturePair(t)
+	var out strings.Builder
+	code, err := run(&out, []string{oldPath, newPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 for a 2x slowdown", code)
+	}
+	md := out.String()
+	if !strings.Contains(md, "BenchmarkPageRankHotLoop") {
+		t.Fatalf("markdown does not name the regressed benchmark:\n%s", md)
+	}
+	if !strings.Contains(md, "regressed") {
+		t.Fatalf("markdown missing regression marker:\n%s", md)
+	}
+	if strings.Contains(md, "| 🔴 regressed | `BenchmarkBFSHotLoop`") {
+		t.Fatalf("flat benchmark flagged:\n%s", md)
+	}
+}
+
+func TestIdenticalSnapshotsExitZero(t *testing.T) {
+	oldPath, _ := fixturePair(t)
+	var out strings.Builder
+	code, err := run(&out, []string{oldPath, oldPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 for identical snapshots\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "No significant changes.") {
+		t.Fatalf("markdown:\n%s", out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	oldPath, newPath := fixturePair(t)
+	var out strings.Builder
+	code, err := run(&out, []string{"-format", "json", oldPath, newPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d", code)
+	}
+	var rep struct {
+		Summary map[string]int   `json:"summary"`
+		Deltas  []perfhist.Delta `json:"deltas"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Summary["regressed"] != 1 || rep.Summary["unchanged"] != 1 {
+		t.Fatalf("summary: %+v", rep.Summary)
+	}
+	if rep.Deltas[0].Name != "BenchmarkPageRankHotLoop" || rep.Deltas[0].Verdict != perfhist.Regressed {
+		t.Fatalf("regressions sort first: %+v", rep.Deltas)
+	}
+}
+
+func TestFailOnNone(t *testing.T) {
+	oldPath, newPath := fixturePair(t)
+	var out strings.Builder
+	code, err := run(&out, []string{"-fail-on", "none", oldPath, newPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d with -fail-on none", code)
+	}
+}
+
+func TestHistoryAppend(t *testing.T) {
+	oldPath, newPath := fixturePair(t)
+	hist := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+	var out strings.Builder
+	if _, err := run(&out, []string{"-fail-on", "none", "-history", hist, "-commit", "abc123", oldPath, newPath}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := perfhist.ReadHistory(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Commit != "abc123" || len(entries[0].Stats) != 2 {
+		t.Fatalf("history: %+v", entries)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if code, err := run(&out, []string{"only-one-arg"}); err == nil || code != 2 {
+		t.Fatalf("missing arg: code=%d err=%v", code, err)
+	}
+	if code, err := run(&out, []string{"-format", "yaml", "a", "b"}); err == nil || code != 2 {
+		t.Fatalf("bad format: code=%d err=%v", code, err)
+	}
+	if code, err := run(&out, []string{filepath.Join(t.TempDir(), "missing.json"), "b"}); err == nil || code != 2 {
+		t.Fatalf("missing file: code=%d err=%v", code, err)
+	}
+}

@@ -2,17 +2,21 @@
 // existing `go test -bench` log) and writes machine-readable snapshots:
 // BENCH_ingest.json for the graph-ingest benchmarks and BENCH_core.json
 // for everything else. The snapshots give CI and across-commit tooling
-// a stable ns/op record without scraping bench output ad hoc.
+// (cmd/benchdiff, internal/perfhist) a stable ns/op record without
+// scraping bench output ad hoc. Runs always pass -benchmem, so every
+// entry carries B/op and allocs/op next to any b.ReportMetric units,
+// and -count N keeps all N samples per benchmark so the diff side can
+// reason about variance instead of trusting single points.
 //
 // Usage:
 //
 //	benchsnap                         # run the suite, write BENCH_*.json
+//	benchsnap -count 3                # 3 samples per benchmark (variance)
 //	benchsnap -bench Figure4 -out .   # subset
 //	go test -bench=. -benchtime=1x -run '^$' . | benchsnap -input -
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,32 +24,12 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
-	"regexp"
 	"runtime"
-	"strconv"
 	"strings"
 	"time"
+
+	"graphalytics/internal/perfhist"
 )
-
-// Entry is one parsed benchmark result line.
-type Entry struct {
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	// Metrics holds the remaining per-op columns (B/op, allocs/op, and
-	// any b.ReportMetric units) keyed by unit.
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Snapshot is one BENCH_*.json file.
-type Snapshot struct {
-	Group      string  `json:"group"` // "core" or "ingest"
-	GoVersion  string  `json:"go_version"`
-	GOOS       string  `json:"goos"`
-	GOARCH     string  `json:"goarch"`
-	Generated  string  `json:"generated"` // RFC 3339
-	Benchmarks []Entry `json:"benchmarks"`
-}
 
 // ingestPrefixes name the benchmarks that exercise the ingest pipeline
 // (file parse, interning, CSR build, platform ETL); they snapshot to
@@ -68,15 +52,22 @@ func run() error {
 		outDir    = flag.String("out", ".", "directory to write BENCH_core.json and BENCH_ingest.json to")
 		benchRe   = flag.String("bench", ".", "go test -bench regexp")
 		benchTime = flag.String("benchtime", "1x", "go test -benchtime value")
+		count     = flag.Int("count", 1, "go test -count: samples per benchmark (≥3 gives benchdiff variance to reason about)")
 		pkg       = flag.String("pkg", ".", "package to benchmark")
+		commit    = flag.String("commit", "", "commit id recorded in the snapshots (default: git rev-parse HEAD, best-effort)")
 		input     = flag.String("input", "", "parse an existing bench log instead of running go test ('-' = stdin)")
 	)
 	flag.Parse()
+	if *count < 1 {
+		*count = 1
+	}
 
 	var r io.Reader
 	switch *input {
 	case "":
-		cmd := exec.Command("go", "test", "-bench="+*benchRe, "-benchtime="+*benchTime, "-run", "^$", *pkg)
+		cmd := exec.Command("go", "test",
+			"-bench="+*benchRe, "-benchtime="+*benchTime,
+			fmt.Sprintf("-count=%d", *count), "-benchmem", "-run", "^$", *pkg)
 		cmd.Stderr = os.Stderr
 		out, err := cmd.StdoutPipe()
 		if err != nil {
@@ -98,7 +89,7 @@ func run() error {
 		r = f
 	}
 
-	entries, err := Parse(r)
+	entries, err := perfhist.Parse(r)
 	if err != nil {
 		return err
 	}
@@ -106,60 +97,34 @@ func run() error {
 		return fmt.Errorf("no benchmark result lines found (did the bench run fail?)")
 	}
 
+	rev := *commit
+	if rev == "" {
+		rev = gitHead()
+	}
 	core, ingest := split(entries)
-	if err := write(filepath.Join(*outDir, "BENCH_core.json"), "core", core); err != nil {
+	if err := write(filepath.Join(*outDir, "BENCH_core.json"), "core", rev, *count, core); err != nil {
 		return err
 	}
-	if err := write(filepath.Join(*outDir, "BENCH_ingest.json"), "ingest", ingest); err != nil {
+	if err := write(filepath.Join(*outDir, "BENCH_ingest.json"), "ingest", rev, *count, ingest); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "benchsnap: %d core + %d ingest benchmarks -> %s\n",
-		len(core), len(ingest), *outDir)
+	fmt.Fprintf(os.Stderr, "benchsnap: %d core + %d ingest benchmark samples (count=%d) -> %s\n",
+		len(core), len(ingest), *count, *outDir)
 	return nil
 }
 
-// benchLine matches `BenchmarkName-8   100   123456 ns/op   extra...`.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
-
-// Parse extracts benchmark entries from go test -bench output.
-func Parse(r io.Reader) ([]Entry, error) {
-	var out []Entry
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
-			continue
-		}
-		iters, err := strconv.ParseInt(m[2], 10, 64)
-		if err != nil {
-			continue
-		}
-		ns, err := strconv.ParseFloat(m[3], 64)
-		if err != nil {
-			continue
-		}
-		e := Entry{Name: m[1], Iterations: iters, NsPerOp: ns}
-		// The tail alternates "value unit" pairs (B/op, allocs/op,
-		// b.ReportMetric units).
-		fields := strings.Fields(m[4])
-		for i := 0; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			if e.Metrics == nil {
-				e.Metrics = map[string]float64{}
-			}
-			e.Metrics[fields[i+1]] = v
-		}
-		out = append(out, e)
+// gitHead best-effort resolves the current commit for the snapshot
+// header; a snapshot outside a git checkout just omits it.
+func gitHead() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
 	}
-	return out, sc.Err()
+	return strings.TrimSpace(string(out))
 }
 
 // split partitions entries into the core and ingest groups.
-func split(entries []Entry) (core, ingest []Entry) {
+func split(entries []perfhist.Entry) (core, ingest []perfhist.Entry) {
 	for _, e := range entries {
 		isIngest := false
 		for _, p := range ingestPrefixes {
@@ -177,13 +142,15 @@ func split(entries []Entry) (core, ingest []Entry) {
 	return core, ingest
 }
 
-func write(path, group string, entries []Entry) error {
-	snap := Snapshot{
+func write(path, group, commit string, count int, entries []perfhist.Entry) error {
+	snap := perfhist.Snapshot{
 		Group:      group,
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Commit:     commit,
+		Count:      count,
 		Benchmarks: entries,
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")

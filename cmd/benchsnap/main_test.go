@@ -3,12 +3,15 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"graphalytics/internal/perfhist"
 )
 
 const sampleLog = `goos: linux
 goarch: amd64
 pkg: graphalytics
 BenchmarkPageRankHotLoop/social-5000-8         	     100	  123456 ns/op	  2048 B/op	      12 allocs/op
+BenchmarkPageRankHotLoop/social-5000-8         	     100	  125000 ns/op	  2048 B/op	      12 allocs/op
 BenchmarkLoadEdgeList/parallel-8               	       1	 9876543 ns/op	 5000000 edges/s
 BenchmarkBuildCSR-8                            	       2	  456789.5 ns/op
 BenchmarkETLTimes/pregel-8                     	       1	  111222 ns/op
@@ -17,12 +20,12 @@ PASS
 `
 
 func TestParse(t *testing.T) {
-	entries, err := Parse(strings.NewReader(sampleLog))
+	entries, err := perfhist.Parse(strings.NewReader(sampleLog))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 4 {
-		t.Fatalf("got %d entries, want 4: %+v", len(entries), entries)
+	if len(entries) != 5 {
+		t.Fatalf("got %d entries, want 5 (repeated -count samples kept): %+v", len(entries), entries)
 	}
 	e := entries[0]
 	if e.Name != "BenchmarkPageRankHotLoop/social-5000" || e.Iterations != 100 || e.NsPerOp != 123456 {
@@ -31,22 +34,22 @@ func TestParse(t *testing.T) {
 	if e.Metrics["B/op"] != 2048 || e.Metrics["allocs/op"] != 12 {
 		t.Fatalf("metrics: %v", e.Metrics)
 	}
-	if entries[1].Metrics["edges/s"] != 5000000 {
-		t.Fatalf("custom metric: %v", entries[1].Metrics)
+	if entries[2].Metrics["edges/s"] != 5000000 {
+		t.Fatalf("custom metric: %v", entries[2].Metrics)
 	}
-	if entries[2].NsPerOp != 456789.5 {
-		t.Fatalf("fractional ns/op: %v", entries[2].NsPerOp)
+	if entries[3].NsPerOp != 456789.5 {
+		t.Fatalf("fractional ns/op: %v", entries[3].NsPerOp)
 	}
 }
 
 func TestSplit(t *testing.T) {
-	entries, err := Parse(strings.NewReader(sampleLog))
+	entries, err := perfhist.Parse(strings.NewReader(sampleLog))
 	if err != nil {
 		t.Fatal(err)
 	}
 	core, ingest := split(entries)
-	if len(core) != 1 || len(ingest) != 3 {
-		t.Fatalf("core=%d ingest=%d, want 1/3", len(core), len(ingest))
+	if len(core) != 2 || len(ingest) != 3 {
+		t.Fatalf("core=%d ingest=%d, want 2/3", len(core), len(ingest))
 	}
 	if core[0].Name != "BenchmarkPageRankHotLoop/social-5000" {
 		t.Fatalf("core: %+v", core)
@@ -54,7 +57,7 @@ func TestSplit(t *testing.T) {
 }
 
 func TestParseEmptyInputYieldsNothing(t *testing.T) {
-	entries, err := Parse(strings.NewReader("PASS\nok  \tgraphalytics\t0.1s\n"))
+	entries, err := perfhist.Parse(strings.NewReader("PASS\nok  \tgraphalytics\t0.1s\n"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -50,6 +51,7 @@ import (
 	"graphalytics/internal/platform"
 	"graphalytics/internal/report"
 	"graphalytics/internal/resultsdb"
+	"graphalytics/internal/sched"
 	"graphalytics/internal/telemetry"
 	"graphalytics/internal/workload"
 )
@@ -81,10 +83,15 @@ func run() error {
 		submitURL  = flag.String("submit", "", "results-database base URL to submit the report to (e.g. http://localhost:8080)")
 		submitter  = flag.String("submitter", "anonymous", "submitter name for -submit")
 		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the campaign to this file (open in chrome://tracing or Perfetto)")
-		metricsAdr = flag.String("metrics-addr", "", "serve Prometheus metrics on this address while the campaign runs (e.g. :9090)")
+		metricsAdr = flag.String("metrics-addr", "", "serve Prometheus metrics plus the live /status campaign view on this address while the campaign runs (e.g. :9090)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address while the campaign runs (e.g. :6060)")
+		logFormat  = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	)
 	flag.Parse()
+	if err := telemetry.SetupLogging(nil, *logFormat, *logLevel); err != nil {
+		return err
+	}
 
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -94,17 +101,23 @@ func run() error {
 		telemetry.StartTrace(f)
 		defer func() {
 			if err := telemetry.StopTrace(); err != nil {
-				fmt.Fprintln(os.Stderr, "graphalytics: trace write:", err)
+				slog.Error("trace write failed", "path", *tracePath, "err", err)
 			}
 			f.Close()
 		}()
 	}
+	// The tracker backs the live /status view; it observes the schedule
+	// whether or not a listener is configured (it is cheap when nobody
+	// snapshots it).
+	tracker := sched.NewTracker()
 	if *metricsAdr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", telemetry.Metrics.Handler())
+		mux.Handle("/status", statusJSONHandler(tracker))
+		mux.Handle("/", statusPageHandler())
 		go func() {
 			if err := http.ListenAndServe(*metricsAdr, mux); err != nil {
-				fmt.Fprintln(os.Stderr, "graphalytics: metrics listener:", err)
+				slog.Error("metrics listener failed", "addr", *metricsAdr, "err", err)
 			}
 		}()
 	}
@@ -117,7 +130,7 @@ func run() error {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
-				fmt.Fprintln(os.Stderr, "graphalytics: pprof listener:", err)
+				slog.Error("pprof listener failed", "addr", *pprofAddr, "err", err)
 			}
 		}()
 	}
@@ -195,6 +208,7 @@ func run() error {
 		Retries:         *retries,
 		CheckpointPath:  *resume,
 		Ingests:         ingests,
+		Tracker:         tracker,
 		Progress: func(r report.RunResult) {
 			extra := ""
 			if r.Reps != nil {
@@ -220,8 +234,123 @@ func run() error {
 			return fmt.Errorf("submitting report: %w", err)
 		}
 		fmt.Printf("submitted to %s as id %d\n", *submitURL, id)
+		// With the submission stored, the results database can judge this
+		// run against the platform's own history; the verdict becomes the
+		// regression/trend section of report.txt.
+		trend, err := fetchTrendSection(*submitURL)
+		if err != nil {
+			slog.Warn("fetching regression trend failed", "url", *submitURL, "err", err)
+		} else {
+			if err := appendReportSection(dir, trend); err != nil {
+				return err
+			}
+			fmt.Print(trend)
+		}
 	}
 	return nil
+}
+
+// fetchTrendSection asks the results database for history-aware
+// regressions and renders the report.txt trend section.
+func fetchTrendSection(baseURL string) (string, error) {
+	resp, err := http.Get(strings.TrimSuffix(baseURL, "/") + "/api/v1/regressions")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("results database returned %s", resp.Status)
+	}
+	var body struct {
+		Checked     int                 `json:"checked"`
+		Regressions []report.Regression `json:"regressions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return "", err
+	}
+	if tbl := report.RegressionTable(body.Regressions); tbl != "" {
+		return "\n" + tbl, nil
+	}
+	return fmt.Sprintf("\n=== regressions (vs trailing submission history) ===\nnone flagged (%d series checked)\n", body.Checked), nil
+}
+
+// appendReportSection appends text to an already-written report.txt.
+func appendReportSection(dir, text string) error {
+	f, err := os.OpenFile(filepath.Join(dir, "report.txt"), os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(text); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// statusJSONHandler serves the live campaign progress snapshot.
+func statusJSONHandler(tracker *sched.Tracker) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tracker.Snapshot())
+	})
+}
+
+// statusPage is the minimal human view of /status: it polls the JSON
+// and renders a progress line plus the per-worker table. No assets, no
+// dependencies — one self-contained page.
+const statusPage = `<!doctype html>
+<html><head><meta charset="utf-8"><title>graphalytics campaign status</title>
+<style>
+body{font-family:monospace;margin:2em;background:#111;color:#ddd}
+table{border-collapse:collapse;margin-top:1em}
+td,th{border:1px solid #444;padding:4px 10px;text-align:left}
+.bar{background:#333;width:32em;height:1em;display:inline-block}
+.fill{background:#4a8;height:100%;display:block}
+</style></head>
+<body>
+<h2>graphalytics campaign</h2>
+<div id="line">loading…</div>
+<div><span class="bar"><span id="fill" class="fill" style="width:0"></span></span></div>
+<table id="workers"><tr><th>worker</th><th>job</th><th>class</th><th>running for</th></tr></table>
+<script>
+function fmtNs(ns){if(!ns)return"0s";const s=ns/1e9;return s>=60?(s/60).toFixed(1)+"m":s.toFixed(1)+"s"}
+async function tick(){
+  try{
+    const r=await fetch("/status");const s=await r.json();
+    const c=s.counts,total=c.total||1,done=c.done+c.failed+c.skipped;
+    document.getElementById("line").textContent=
+      (s.finished?"finished":"running")+" — "+done+"/"+c.total+" jobs ("+
+      c.running+" running, "+c.ready+" ready, "+c.pending+" pending, "+
+      c.failed+" failed) · elapsed "+fmtNs(s.elapsed_ns)+" · ETA "+fmtNs(s.eta_ns);
+    document.getElementById("fill").style.width=(100*done/total)+"%";
+    const t=document.getElementById("workers");
+    while(t.rows.length>1)t.deleteRow(1);
+    for(const w of s.workers||[]){
+      const row=t.insertRow();
+      row.insertCell().textContent=w.worker;
+      row.insertCell().textContent=w.job_id||"(idle)";
+      row.insertCell().textContent=w.class||"";
+      row.insertCell().textContent=w.job_id?fmtNs(w.running_for_ns):"";
+    }
+  }catch(e){document.getElementById("line").textContent="status fetch failed: "+e}
+}
+tick();setInterval(tick,2000);
+</script>
+</body></html>
+`
+
+// statusPageHandler serves the HTML status page at the listener root.
+func statusPageHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(statusPage))
+	})
 }
 
 // submitReport POSTs the report to a results-database service.

@@ -1,17 +1,25 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"graphalytics"
 	"graphalytics/internal/algo"
 	"graphalytics/internal/config"
+	"graphalytics/internal/core"
+	"graphalytics/internal/platform"
 	"graphalytics/internal/report"
 	"graphalytics/internal/resultsdb"
+	"graphalytics/internal/sched"
 )
 
 func TestSplitList(t *testing.T) {
@@ -189,6 +197,153 @@ func TestWriteReport(t *testing.T) {
 	js, _ := os.ReadFile(filepath.Join(dir, "report.json"))
 	if !strings.Contains(string(js), `"ingests"`) {
 		t.Error("report.json missing the ingests field")
+	}
+}
+
+// TestStatusEndpointMidCampaign runs a real (small) campaign with the
+// /status listener attached and snapshots it from the Progress callback
+// — i.e. while the scheduler is still resolving jobs — asserting the
+// endpoint serves valid, populated JSON before the campaign finishes.
+func TestStatusEndpointMidCampaign(t *testing.T) {
+	graphs, ingests, err := buildGraphs([]string{"social:300"}, 1, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker := sched.NewTracker()
+	srv := httptest.NewServer(statusJSONHandler(tracker))
+	defer srv.Close()
+
+	var (
+		mu       sync.Mutex
+		sampled  bool
+		sampleIn sched.Snapshot
+	)
+	bench := &core.Benchmark{
+		Platforms:  []platform.Platform{graphalytics.NewPregel(graphalytics.PregelOptions{})},
+		Graphs:     graphs,
+		Algorithms: []algo.Kind{algo.BFS, algo.CONN, algo.STATS},
+		Params:     algo.Params{Seed: 1},
+		Timeout:    time.Minute,
+		Ingests:    ingests,
+		Tracker:    tracker,
+		Progress: func(report.RunResult) {
+			mu.Lock()
+			defer mu.Unlock()
+			if sampled {
+				return
+			}
+			resp, err := http.Get(srv.URL + "/status")
+			if err != nil {
+				t.Errorf("GET /status: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type = %q", ct)
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&sampleIn); err != nil {
+				t.Errorf("decoding /status: %v", err)
+				return
+			}
+			sampled = true
+		},
+	}
+	if _, err := bench.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if !sampled {
+		t.Fatal("Progress never sampled /status")
+	}
+	s := sampleIn
+	if s.Counts.Total == 0 {
+		t.Fatalf("mid-campaign snapshot empty: %+v", s)
+	}
+	if s.Finished {
+		t.Error("snapshot taken from Progress claims the campaign finished")
+	}
+	// Progress fires from inside a job, before the scheduler resolves it,
+	// so that job still counts as running in the snapshot.
+	if s.Counts.Running == 0 {
+		t.Errorf("no running jobs in mid-campaign snapshot: %+v", s.Counts)
+	}
+	if sum := s.Counts.Pending + s.Counts.Ready + s.Counts.Running +
+		s.Counts.Done + s.Counts.Failed + s.Counts.Skipped; sum != s.Counts.Total {
+		t.Errorf("counts do not sum to total: %+v", s.Counts)
+	}
+	if s.Started.IsZero() || s.Elapsed <= 0 {
+		t.Errorf("timing fields unpopulated: started=%v elapsed=%v", s.Started, s.Elapsed)
+	}
+
+	// After Run returns, the tracker reports completion.
+	final := tracker.Snapshot()
+	if !final.Finished {
+		t.Error("tracker not finished after Run returned")
+	}
+	if got := final.Counts.Done + final.Counts.Failed + final.Counts.Skipped; got != final.Counts.Total {
+		t.Errorf("final counts unresolved: %+v", final.Counts)
+	}
+}
+
+// TestFetchTrendSection exercises the post-submit regression fetch and
+// the report.txt append.
+func TestFetchTrendSection(t *testing.T) {
+	store := resultsdb.NewStore()
+	srv := httptest.NewServer(store.Handler())
+	defer srv.Close()
+
+	mk := func(kteps float64) *report.Report {
+		return &report.Report{
+			Started: time.Now(), Finished: time.Now(),
+			Results: []report.RunResult{{
+				Platform: "pregel", Graph: "g", Algorithm: algo.BFS,
+				Status: report.StatusSuccess, Runtime: time.Second, KTEPS: kteps,
+			}},
+		}
+	}
+	// Quiet history → "none flagged" line.
+	for _, v := range []float64{1000, 1010} {
+		if _, err := submitReport(srv.URL, "t", mk(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trend, err := fetchTrendSection(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(trend, "none flagged") {
+		t.Fatalf("quiet trend = %q", trend)
+	}
+	// A halved submission → rendered regression table naming the platform.
+	for _, v := range []float64{990, 400} {
+		if _, err := submitReport(srv.URL, "t", mk(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trend, err = fetchTrendSection(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(trend, "pregel") || !strings.Contains(trend, "regressions") {
+		t.Fatalf("regressed trend = %q", trend)
+	}
+
+	// The section lands at the end of report.txt.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "report.txt"), []byte("base\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendReportSection(dir, trend); err != nil {
+		t.Fatal(err)
+	}
+	txt, err := os.ReadFile(filepath.Join(dir, "report.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(txt), "base\n") || !strings.Contains(string(txt), "pregel") {
+		t.Fatalf("report.txt = %q", txt)
 	}
 }
 

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 
@@ -30,10 +31,15 @@ func main() {
 
 func run() error {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		store = flag.String("store", "results.json", "persistence file (empty = memory only)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		store     = flag.String("store", "results.json", "persistence file (empty = memory only)")
+		logFormat = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	)
 	flag.Parse()
+	if err := telemetry.SetupLogging(nil, *logFormat, *logLevel); err != nil {
+		return err
+	}
 
 	var db *resultsdb.Store
 	var err error
@@ -53,7 +59,7 @@ func run() error {
 		requests.Inc()
 		api.ServeHTTP(w, r)
 	}))
-	fmt.Printf("results database listening on %s (store: %s)\n", *addr, storeDesc(*store))
+	slog.Info("results database listening", "addr", *addr, "store", storeDesc(*store))
 	return http.ListenAndServe(*addr, mux)
 }
 

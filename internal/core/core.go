@@ -24,7 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -95,6 +95,10 @@ type Benchmark struct {
 	// alongside the per-cell processing times. Drivers populate it via
 	// core.Ingest while building Graphs.
 	Ingests []report.IngestStat
+	// Tracker, when non-nil, observes the live schedule so a driver can
+	// serve campaign progress (per-job state, per-worker occupation,
+	// ETA) while the matrix runs — the "/status" view.
+	Tracker *sched.Tracker
 }
 
 // Ingest runs build, timing it as a dataset's ingest phase — the
@@ -171,10 +175,14 @@ func (b *Benchmark) Run(ctx context.Context) (*report.Report, error) {
 	rep := &report.Report{Started: time.Now()}
 	rep.Ingests = append(rep.Ingests, b.Ingests...)
 	jobs := c.buildJobs()
+	slog.Info("core: campaign start",
+		"platforms", len(b.Platforms), "graphs", len(b.Graphs), "algorithms", len(algs),
+		"cells", len(c.cells), "jobs", len(jobs), "reps", b.Reps, "warmup", b.Warmup)
 	_, schedErr := sched.Run(ctx, jobs, sched.Options{
 		Parallelism: b.Parallelism,
 		ClassLimits: c.classLimits(),
 		Retry:       c.retry,
+		Tracker:     b.Tracker,
 	})
 	// Unload any graph whose cells did not all finish (cancellation).
 	for _, pg := range c.pgs {
@@ -413,8 +421,9 @@ func (c *campaign) runCellJob(ctx context.Context, pg *pgState, a algo.Kind, slo
 	return nil
 }
 
-// journalWarnOnce gates the stderr warning for journal write failures:
-// one line per process, not one per cell.
+// journalWarnOnce gates the Warn-level line for journal write failures
+// (one per process; later failures log at Debug so a full disk cannot
+// flood a long campaign's log).
 var journalWarnOnce sync.Once
 
 // finishCell publishes a final cell outcome: slot write (collation),
@@ -425,14 +434,22 @@ var journalWarnOnce sync.Once
 // non-resumable campaign is a debugging trap.
 func (c *campaign) finishCell(slot int, key string, r report.RunResult) {
 	c.cells[slot] = &r
+	slog.Debug("core: cell finished",
+		"cell", key, "platform", r.Platform, "graph", r.Graph, "algorithm", string(r.Algorithm),
+		"status", string(r.Status), "runtime", r.Runtime, "attempts", r.Attempts)
 	if c.journal != nil {
 		if err := c.journal.Record(key, r); err != nil {
 			telemetry.Metrics.Counter("core_journal_write_failures_total",
 				"cell results that failed to journal (cell re-runs on resume)").Inc()
+			warned := false
 			journalWarnOnce.Do(func() {
-				fmt.Fprintf(os.Stderr,
-					"core: warning: journal write failed (%v); affected cells will re-run on resume\n", err)
+				warned = true
+				slog.Warn("core: journal write failed; affected cells will re-run on resume",
+					"cell", key, "err", err)
 			})
+			if !warned {
+				slog.Debug("core: journal write failed", "cell", key, "err", err)
+			}
 		}
 	}
 	if c.b.Progress != nil {

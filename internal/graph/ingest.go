@@ -3,8 +3,10 @@ package graph
 import (
 	"bytes"
 	"fmt"
+	"log/slog"
 	"slices"
 	"sync"
+	"time"
 
 	"graphalytics/internal/telemetry"
 )
@@ -48,6 +50,7 @@ func (e *vertexFileError) Unwrap() error { return e.err }
 // ingest runs the parallel load pipeline into b and builds the graph.
 // vdata is only consulted when haveVerts is true.
 func ingest(b *Builder, edata, vdata []byte, haveVerts bool, workers int) (*Graph, error) {
+	start := time.Now()
 	if haveVerts {
 		sp := telemetry.StartSpan("ingest", "parse-vertices")
 		sp.SetAttr("bytes", len(vdata))
@@ -57,14 +60,24 @@ func ingest(b *Builder, edata, vdata []byte, haveVerts bool, workers int) (*Grap
 			return nil, err
 		}
 	}
+	parseStart := time.Now()
 	if err := ingestEdges(b, edata, workers); err != nil {
 		return nil, err
 	}
+	parseDur := time.Since(parseStart)
 	sp := telemetry.StartSpan("ingest", "build-csr")
 	sp.SetAttr("workers", workers)
+	buildStart := time.Now()
 	g, err := b.BuildParallel(workers)
 	sp.End()
-	return g, err
+	if err != nil {
+		return nil, err
+	}
+	slog.Debug("graph: ingest complete",
+		"vertices", g.NumVertices(), "edges", g.NumEdges(), "workers", workers,
+		"bytes", len(edata)+len(vdata),
+		"parse", parseDur, "build", time.Since(buildStart), "total", time.Since(start))
+	return g, nil
 }
 
 // splitLines splits data into up to parts newline-aligned chunks of

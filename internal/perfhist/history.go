@@ -1,0 +1,116 @@
+package perfhist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// HistoryEntry is one line of the append-only BENCH_history.jsonl
+// trend file: the aggregated stats of one snapshot, keyed by commit.
+// One line per (commit, group) makes the file trivially greppable and
+// mergeable — append-only, never rewritten.
+type HistoryEntry struct {
+	Commit    string `json:"commit"`
+	Group     string `json:"group"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version,omitempty"`
+	Stats     []Stat `json:"stats"`
+}
+
+// HistoryFromSnapshot aggregates a snapshot into its history line.
+func HistoryFromSnapshot(s *Snapshot) HistoryEntry {
+	return HistoryEntry{
+		Commit:    s.Commit,
+		Group:     s.Group,
+		Generated: s.Generated,
+		GoVersion: s.GoVersion,
+		Stats:     Aggregate(s),
+	}
+}
+
+// AppendHistory appends one entry to the JSONL trend file, creating it
+// if needed. Entries for a commit already present are appended anyway:
+// the reader keeps the last line per (commit, group), so re-running a
+// snapshot supersedes rather than corrupts.
+func AppendHistory(path string, e HistoryEntry) error {
+	if e.Commit == "" {
+		return fmt.Errorf("perfhist: history entry needs a commit key")
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadHistory loads the trend file, newest last, keeping only the last
+// line per (commit, group). Blank lines are skipped; a malformed line
+// fails with its line number so a bad merge is findable.
+func ReadHistory(path string) ([]HistoryEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var entries []HistoryEntry
+	last := map[string]int{} // commit|group → index in entries
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var e HistoryEntry
+		if err := json.Unmarshal(text, &e); err != nil {
+			return nil, fmt.Errorf("perfhist: %s:%d: %w", path, line, err)
+		}
+		key := e.Commit + "|" + e.Group
+		if i, ok := last[key]; ok {
+			entries[i] = e
+			continue
+		}
+		last[key] = len(entries)
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// Trend extracts one benchmark's mean ns/op across history entries (in
+// file order, i.e. oldest first), for trend lines across commits.
+type TrendPoint struct {
+	Commit  string  `json:"commit"`
+	NsPerOp float64 `json:"ns_per_op"`
+	N       int     `json:"n"`
+}
+
+// Trend returns the per-commit series for one benchmark name (entries
+// lacking the benchmark are skipped).
+func Trend(entries []HistoryEntry, name string) []TrendPoint {
+	var out []TrendPoint
+	for _, e := range entries {
+		for _, s := range e.Stats {
+			if s.Name == name {
+				out = append(out, TrendPoint{Commit: e.Commit, NsPerOp: s.Mean, N: s.N})
+				break
+			}
+		}
+	}
+	return out
+}

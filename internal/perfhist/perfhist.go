@@ -1,0 +1,363 @@
+// Package perfhist is the analysis layer over the benchmark snapshots
+// the observability spine emits (BENCH_*.json from cmd/benchsnap): it
+// parses `go test -bench` output into snapshots, aggregates repeated
+// samples (-count N) into per-benchmark statistics, and compares two
+// snapshots with noise-aware thresholds, producing a typed verdict per
+// benchmark (improved / unchanged / regressed / new / removed).
+//
+// The comparison follows the methodology the benchmarking literature
+// insists on: a relative-delta threshold alone flags noise, so the
+// effective threshold per benchmark widens with the measured variance
+// (when multi-sample data is present) and an absolute minimum-effect
+// floor suppresses microsecond jitter on sub-millisecond benchmarks.
+package perfhist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result line (one sample; `-count N`
+// yields N entries with the same name).
+type Entry struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics holds the remaining per-op columns (B/op, allocs/op, and
+	// any b.ReportMetric units) keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is one BENCH_*.json file.
+type Snapshot struct {
+	Group     string `json:"group"` // "core" or "ingest"
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Generated string `json:"generated"`        // RFC 3339
+	Commit    string `json:"commit,omitempty"` // git revision the snapshot was taken at
+	// Count is the -count the suite ran with (0/1 = single sample per
+	// benchmark; >1 gives Compare variance to reason about).
+	Count      int     `json:"count,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkName-8   100   123456 ns/op   extra...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+// Parse extracts benchmark entries from go test -bench output. Repeated
+// names (from -count) stay separate entries in input order.
+func Parse(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Name: m[1], Iterations: iters, NsPerOp: ns}
+		// The tail alternates "value unit" pairs (B/op, allocs/op,
+		// b.ReportMetric units).
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[fields[i+1]] = v
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// ReadSnapshot loads one BENCH_*.json file.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("perfhist: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Stat is the aggregate of one benchmark's samples within a snapshot.
+type Stat struct {
+	Name string `json:"name"`
+	// N is the number of samples (entries with this name).
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean_ns_per_op"`
+	Min    float64 `json:"min_ns_per_op"`
+	Max    float64 `json:"max_ns_per_op"`
+	Stddev float64 `json:"stddev_ns_per_op,omitempty"`
+	// Metrics holds the per-unit sample means (B/op, allocs/op, custom
+	// b.ReportMetric units).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// RelStddev is the coefficient of variation (stddev/mean), 0 for
+// single-sample or zero-mean stats.
+func (s Stat) RelStddev() float64 {
+	if s.N < 2 || s.Mean <= 0 {
+		return 0
+	}
+	return s.Stddev / s.Mean
+}
+
+// Aggregate folds a snapshot's entries into one Stat per benchmark
+// name, sorted by name.
+func Aggregate(s *Snapshot) []Stat {
+	byName := map[string][]Entry{}
+	var order []string
+	for _, e := range s.Benchmarks {
+		if _, ok := byName[e.Name]; !ok {
+			order = append(order, e.Name)
+		}
+		byName[e.Name] = append(byName[e.Name], e)
+	}
+	sort.Strings(order)
+	out := make([]Stat, 0, len(order))
+	for _, name := range order {
+		out = append(out, aggregateSamples(name, byName[name]))
+	}
+	return out
+}
+
+func aggregateSamples(name string, samples []Entry) Stat {
+	st := Stat{Name: name, N: len(samples), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	metricSums := map[string]float64{}
+	metricNs := map[string]int{}
+	for _, e := range samples {
+		sum += e.NsPerOp
+		st.Min = math.Min(st.Min, e.NsPerOp)
+		st.Max = math.Max(st.Max, e.NsPerOp)
+		for unit, v := range e.Metrics {
+			metricSums[unit] += v
+			metricNs[unit]++
+		}
+	}
+	st.Mean = sum / float64(st.N)
+	if st.N > 1 {
+		var sq float64
+		for _, e := range samples {
+			d := e.NsPerOp - st.Mean
+			sq += d * d
+		}
+		st.Stddev = math.Sqrt(sq / float64(st.N-1))
+	}
+	if len(metricSums) > 0 {
+		st.Metrics = make(map[string]float64, len(metricSums))
+		for unit, s := range metricSums {
+			st.Metrics[unit] = s / float64(metricNs[unit])
+		}
+	}
+	return st
+}
+
+// Verdict classifies one benchmark across two snapshots.
+type Verdict string
+
+// Comparison verdicts.
+const (
+	Improved  Verdict = "improved"  // significantly faster
+	Unchanged Verdict = "unchanged" // within noise/threshold
+	Regressed Verdict = "regressed" // significantly slower
+	New       Verdict = "new"       // only in the new snapshot
+	Removed   Verdict = "removed"   // only in the old snapshot
+)
+
+// Options tunes the noise model of Compare.
+type Options struct {
+	// Threshold is the minimum relative ns/op delta considered
+	// significant (default 0.10 = 10%).
+	Threshold float64
+	// MinEffectNs is the absolute floor: deltas smaller than this many
+	// ns/op are always Unchanged regardless of the relative change
+	// (default 50µs). Sub-millisecond benchmarks jitter by scheduling
+	// noise alone; without a floor they dominate every diff.
+	MinEffectNs float64
+	// NoiseSigmas widens the effective threshold to k·σ_rel when both
+	// sides carry multi-sample variance (default 3): the threshold
+	// becomes max(Threshold, NoiseSigmas·sqrt(relVar_old+relVar_new)).
+	NoiseSigmas float64
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.Threshold <= 0 {
+		o.Threshold = 0.10
+	}
+	if o.MinEffectNs <= 0 {
+		o.MinEffectNs = 50_000 // 50µs
+	}
+	if o.NoiseSigmas <= 0 {
+		o.NoiseSigmas = 3
+	}
+	return o
+}
+
+// Delta is the comparison outcome for one benchmark.
+type Delta struct {
+	Name    string  `json:"name"`
+	Verdict Verdict `json:"verdict"`
+	// OldMean/NewMean are mean ns/op (0 for the missing side of
+	// new/removed).
+	OldMean float64 `json:"old_ns_per_op,omitempty"`
+	NewMean float64 `json:"new_ns_per_op,omitempty"`
+	OldN    int     `json:"old_n,omitempty"`
+	NewN    int     `json:"new_n,omitempty"`
+	// Ratio is new/old (>1 = slower). 0 for new/removed.
+	Ratio float64 `json:"ratio,omitempty"`
+	// Threshold is the effective relative threshold used for this
+	// benchmark after noise widening.
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// RelDelta is (new-old)/old; positive means slower.
+func (d Delta) RelDelta() float64 {
+	if d.OldMean <= 0 {
+		return 0
+	}
+	return (d.NewMean - d.OldMean) / d.OldMean
+}
+
+// Compare classifies every benchmark across two snapshots. Results are
+// sorted: regressions first (worst ratio first), then improvements,
+// then new/removed, then unchanged, each name-sorted within its class.
+func Compare(old, cur *Snapshot, opts Options) []Delta {
+	opts = opts.withDefaults()
+	oldStats := statMap(Aggregate(old))
+	newStats := statMap(Aggregate(cur))
+
+	names := map[string]bool{}
+	for n := range oldStats {
+		names[n] = true
+	}
+	for n := range newStats {
+		names[n] = true
+	}
+
+	out := make([]Delta, 0, len(names))
+	for name := range names {
+		o, hasOld := oldStats[name]
+		n, hasNew := newStats[name]
+		switch {
+		case !hasOld:
+			out = append(out, Delta{Name: name, Verdict: New, NewMean: n.Mean, NewN: n.N})
+		case !hasNew:
+			out = append(out, Delta{Name: name, Verdict: Removed, OldMean: o.Mean, OldN: o.N})
+		default:
+			out = append(out, classify(o, n, opts))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if ra, rb := verdictRank(a.Verdict), verdictRank(b.Verdict); ra != rb {
+			return ra < rb
+		}
+		if a.Verdict == Regressed && a.Ratio != b.Ratio {
+			return a.Ratio > b.Ratio // worst slowdown first
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+func verdictRank(v Verdict) int {
+	switch v {
+	case Regressed:
+		return 0
+	case Improved:
+		return 1
+	case New:
+		return 2
+	case Removed:
+		return 3
+	}
+	return 4
+}
+
+func statMap(stats []Stat) map[string]Stat {
+	m := make(map[string]Stat, len(stats))
+	for _, s := range stats {
+		m[s.Name] = s
+	}
+	return m
+}
+
+// classify applies the noise model to one paired benchmark.
+func classify(o, n Stat, opts Options) Delta {
+	d := Delta{
+		Name:    o.Name,
+		OldMean: o.Mean, NewMean: n.Mean,
+		OldN: o.N, NewN: n.N,
+	}
+	if o.Mean > 0 {
+		d.Ratio = n.Mean / o.Mean
+	}
+	// Effective threshold: the static floor, widened to k·σ_rel when
+	// variance is available on either side (single-sample sides
+	// contribute zero, which keeps the static floor in charge).
+	relVar := o.RelStddev()*o.RelStddev() + n.RelStddev()*n.RelStddev()
+	d.Threshold = math.Max(opts.Threshold, opts.NoiseSigmas*math.Sqrt(relVar))
+
+	rel := d.RelDelta()
+	abs := math.Abs(n.Mean - o.Mean)
+	switch {
+	case abs < opts.MinEffectNs || math.Abs(rel) <= d.Threshold:
+		d.Verdict = Unchanged
+	case rel > 0:
+		d.Verdict = Regressed
+	default:
+		d.Verdict = Improved
+	}
+	return d
+}
+
+// Summary counts deltas per verdict.
+func Summary(deltas []Delta) map[Verdict]int {
+	m := map[Verdict]int{}
+	for _, d := range deltas {
+		m[d.Verdict]++
+	}
+	return m
+}
+
+// FormatNs renders a ns/op value with an adaptive unit for tables.
+func FormatNs(ns float64) string {
+	switch {
+	case ns <= 0:
+		return "-"
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	}
+	return fmt.Sprintf("%.0fns", ns)
+}

@@ -1,0 +1,222 @@
+package perfhist
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleLog = `goos: linux
+goarch: amd64
+pkg: graphalytics
+BenchmarkPageRankHotLoop/social-5000-8         	     100	  123456 ns/op	  2048 B/op	      12 allocs/op
+BenchmarkPageRankHotLoop/social-5000-8         	     100	  123800 ns/op	  2048 B/op	      12 allocs/op
+BenchmarkLoadEdgeList/parallel-8               	       1	 9876543 ns/op	 5000000 edges/s
+BenchmarkBuildCSR-8                            	       2	  456789.5 ns/op
+not a bench line
+PASS
+`
+
+func TestParseKeepsRepeatedSamples(t *testing.T) {
+	entries, err := Parse(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("got %d entries, want 4: %+v", len(entries), entries)
+	}
+	if entries[0].Name != entries[1].Name {
+		t.Fatalf("repeated -count samples should keep the same name: %q vs %q", entries[0].Name, entries[1].Name)
+	}
+	if entries[0].Metrics["B/op"] != 2048 || entries[0].Metrics["allocs/op"] != 12 {
+		t.Fatalf("memory metrics: %v", entries[0].Metrics)
+	}
+	if entries[2].Metrics["edges/s"] != 5000000 {
+		t.Fatalf("custom metric: %v", entries[2].Metrics)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	entries, err := Parse(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Aggregate(&Snapshot{Benchmarks: entries})
+	if len(stats) != 3 {
+		t.Fatalf("got %d stats, want 3: %+v", len(stats), stats)
+	}
+	var pr *Stat
+	for i := range stats {
+		if stats[i].Name == "BenchmarkPageRankHotLoop/social-5000" {
+			pr = &stats[i]
+		}
+	}
+	if pr == nil {
+		t.Fatal("PageRank stat missing")
+	}
+	if pr.N != 2 {
+		t.Fatalf("N = %d, want 2", pr.N)
+	}
+	if want := (123456.0 + 123800.0) / 2; math.Abs(pr.Mean-want) > 1e-9 {
+		t.Fatalf("mean = %f, want %f", pr.Mean, want)
+	}
+	if pr.Min != 123456 || pr.Max != 123800 {
+		t.Fatalf("min/max = %f/%f", pr.Min, pr.Max)
+	}
+	if pr.Stddev <= 0 {
+		t.Fatalf("stddev = %f, want > 0 for 2 samples", pr.Stddev)
+	}
+	if pr.Metrics["B/op"] != 2048 {
+		t.Fatalf("aggregated metrics: %v", pr.Metrics)
+	}
+}
+
+func snap(entries ...Entry) *Snapshot {
+	return &Snapshot{Group: "core", Benchmarks: entries}
+}
+
+func entry(name string, ns float64) Entry {
+	return Entry{Name: name, Iterations: 1, NsPerOp: ns}
+}
+
+func find(deltas []Delta, name string) *Delta {
+	for i := range deltas {
+		if deltas[i].Name == name {
+			return &deltas[i]
+		}
+	}
+	return nil
+}
+
+func TestCompareIdenticalIsUnchanged(t *testing.T) {
+	s := snap(entry("BenchmarkA", 5e6), entry("BenchmarkB", 2e8))
+	deltas := Compare(s, s, Options{})
+	for _, d := range deltas {
+		if d.Verdict != Unchanged {
+			t.Errorf("%s: verdict %s on identical snapshots", d.Name, d.Verdict)
+		}
+	}
+}
+
+func TestCompareDetectsSlowdownAndSpeedup(t *testing.T) {
+	old := snap(entry("BenchmarkSlow", 5e6), entry("BenchmarkFast", 8e6))
+	cur := snap(entry("BenchmarkSlow", 10e6), entry("BenchmarkFast", 4e6))
+	deltas := Compare(old, cur, Options{})
+	if d := find(deltas, "BenchmarkSlow"); d == nil || d.Verdict != Regressed {
+		t.Fatalf("2x slowdown: %+v", d)
+	} else if math.Abs(d.Ratio-2) > 1e-9 {
+		t.Fatalf("ratio = %f, want 2", d.Ratio)
+	}
+	if d := find(deltas, "BenchmarkFast"); d == nil || d.Verdict != Improved {
+		t.Fatalf("2x speedup: %+v", d)
+	}
+	// Regressions sort first.
+	if deltas[0].Verdict != Regressed {
+		t.Fatalf("order: %+v", deltas)
+	}
+}
+
+func TestCompareNewAndRemoved(t *testing.T) {
+	old := snap(entry("BenchmarkGone", 1e6))
+	cur := snap(entry("BenchmarkBorn", 1e6))
+	deltas := Compare(old, cur, Options{})
+	if d := find(deltas, "BenchmarkGone"); d == nil || d.Verdict != Removed {
+		t.Fatalf("removed: %+v", d)
+	}
+	if d := find(deltas, "BenchmarkBorn"); d == nil || d.Verdict != New {
+		t.Fatalf("new: %+v", d)
+	}
+}
+
+func TestCompareMinEffectFloor(t *testing.T) {
+	// 3x slower but only 3µs absolute: below the 50µs default floor,
+	// so it must read as noise, not regression.
+	old := snap(entry("BenchmarkTiny", 1_000))
+	cur := snap(entry("BenchmarkTiny", 4_000))
+	deltas := Compare(old, cur, Options{})
+	if d := find(deltas, "BenchmarkTiny"); d.Verdict != Unchanged {
+		t.Fatalf("sub-floor delta flagged: %+v", d)
+	}
+	// The same relative change above the floor regresses.
+	old = snap(entry("BenchmarkBig", 1e8))
+	cur = snap(entry("BenchmarkBig", 4e8))
+	deltas = Compare(old, cur, Options{})
+	if d := find(deltas, "BenchmarkBig"); d.Verdict != Regressed {
+		t.Fatalf("above-floor delta missed: %+v", d)
+	}
+}
+
+func TestCompareVarianceWidensThreshold(t *testing.T) {
+	// A noisy benchmark (~±30% across samples) whose means differ by
+	// 20%: a naive 10% threshold would flag it, the σ-widened one must
+	// not.
+	old := snap(
+		entry("BenchmarkNoisy", 7e6), entry("BenchmarkNoisy", 10e6), entry("BenchmarkNoisy", 13e6))
+	cur := snap(
+		entry("BenchmarkNoisy", 8.4e6), entry("BenchmarkNoisy", 12e6), entry("BenchmarkNoisy", 15.6e6))
+	deltas := Compare(old, cur, Options{})
+	d := find(deltas, "BenchmarkNoisy")
+	if d.Verdict != Unchanged {
+		t.Fatalf("noisy-but-flat flagged %s (threshold %f, rel %f)", d.Verdict, d.Threshold, d.RelDelta())
+	}
+	if d.Threshold <= 0.10 {
+		t.Fatalf("threshold not widened by variance: %f", d.Threshold)
+	}
+
+	// A tight benchmark (<1% noise) with the same 20% shift must flag.
+	old = snap(
+		entry("BenchmarkTight", 9.99e6), entry("BenchmarkTight", 10e6), entry("BenchmarkTight", 10.01e6))
+	cur = snap(
+		entry("BenchmarkTight", 11.99e6), entry("BenchmarkTight", 12e6), entry("BenchmarkTight", 12.01e6))
+	deltas = Compare(old, cur, Options{})
+	if d := find(deltas, "BenchmarkTight"); d.Verdict != Regressed {
+		t.Fatalf("tight-series regression missed: %+v", d)
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+	s1 := snap(entry("BenchmarkA", 1e6))
+	s1.Commit = "aaa111"
+	s2 := snap(entry("BenchmarkA", 2e6))
+	s2.Commit = "bbb222"
+	if err := AppendHistory(path, HistoryFromSnapshot(s1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendHistory(path, HistoryFromSnapshot(s2)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Commit != "aaa111" || entries[1].Commit != "bbb222" {
+		t.Fatalf("history: %+v", entries)
+	}
+	pts := Trend(entries, "BenchmarkA")
+	if len(pts) != 2 || pts[0].NsPerOp != 1e6 || pts[1].NsPerOp != 2e6 {
+		t.Fatalf("trend: %+v", pts)
+	}
+
+	// Re-snapshotting the same commit supersedes, not duplicates.
+	s3 := snap(entry("BenchmarkA", 3e6))
+	s3.Commit = "bbb222"
+	if err := AppendHistory(path, HistoryFromSnapshot(s3)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || Trend(entries, "BenchmarkA")[1].NsPerOp != 3e6 {
+		t.Fatalf("supersede: %+v", entries)
+	}
+}
+
+func TestAppendHistoryRequiresCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.jsonl")
+	if err := AppendHistory(path, HistoryEntry{Group: "core"}); err == nil {
+		t.Fatal("commitless history entry accepted")
+	}
+}

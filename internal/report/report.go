@@ -312,6 +312,56 @@ func ResourceTable(results []RunResult) string {
 	return b.String()
 }
 
+// Regression flags one series whose throughput metric dropped beyond
+// threshold against its own trailing history in the results database —
+// the history-aware comparison the benchmarking literature demands
+// before a slowdown claim means anything. For processing regressions
+// the metric is kTEPS (per platform, graph, algorithm); for ingest
+// regressions it is EVPS (per graph, Platform = "ingest", no
+// algorithm).
+type Regression struct {
+	Platform  string `json:"platform"`
+	Graph     string `json:"graph"`
+	Algorithm string `json:"algorithm,omitempty"`
+	Metric    string `json:"metric"` // "kteps" or "evps"
+	// Baseline is the trailing-window mean the latest point is judged
+	// against; Latest is the newest submission's value.
+	Baseline float64 `json:"baseline"`
+	Latest   float64 `json:"latest"`
+	// Drop is the relative decline (baseline-latest)/baseline, 0..1.
+	Drop float64 `json:"drop"`
+	// Threshold is the effective relative threshold the drop exceeded
+	// (noise-widened when the baseline window is noisy).
+	Threshold float64 `json:"threshold"`
+	// Points is the number of history points behind the baseline.
+	Points int `json:"points"`
+	// SubmissionID is the submission that introduced the drop.
+	SubmissionID int64 `json:"submission_id,omitempty"`
+}
+
+// RegressionTable renders the regression/trend section of report.txt:
+// one row per flagged series. Empty input renders an empty string so
+// callers can substitute a "no regressions" line.
+func RegressionTable(regs []Regression) string {
+	if len(regs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("=== regressions (vs trailing submission history) ===\n")
+	fmt.Fprintf(&b, "%-10s %-14s %-6s %-6s %12s %12s %8s %8s %6s\n",
+		"platform", "graph", "algo", "metric", "baseline", "latest", "drop", "thresh", "hist")
+	for _, r := range regs {
+		algoName := r.Algorithm
+		if algoName == "" {
+			algoName = "-"
+		}
+		fmt.Fprintf(&b, "%-10s %-14s %-6s %-6s %12.1f %12.1f %7.1f%% %7.1f%% %6d\n",
+			r.Platform, r.Graph, algoName, r.Metric,
+			r.Baseline, r.Latest, r.Drop*100, r.Threshold*100, r.Points)
+	}
+	return b.String()
+}
+
 func formatBytes(n uint64) string {
 	switch {
 	case n >= 1<<30:

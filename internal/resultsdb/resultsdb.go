@@ -12,6 +12,7 @@
 //	GET  /api/v1/submissions/{id}     fetch one submission
 //	GET  /api/v1/results?platform=&graph=&algorithm=   filtered results
 //	GET  /api/v1/compare?graph=&algorithm=             per-platform best runtimes
+//	GET  /api/v1/regressions?threshold=&window=        platforms whose kTEPS/EVPS dropped vs their history
 //
 // Everything is stdlib net/http + encoding/json; the store is safe for
 // concurrent use.
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"graphalytics/internal/report"
+	"graphalytics/internal/telemetry"
 )
 
 // Submission is one user-contributed benchmark report.
@@ -129,9 +131,15 @@ func (s *Store) Submit(sub Submission) (int64, error) {
 	stored := sub
 	s.subs = append(s.subs, &stored)
 	if err := s.persist(); err != nil {
+		// Roll back so memory never claims a submission the disk lost;
+		// the caller (and its HTTP 500) sees the persist error, and the
+		// counter makes a flaky volume visible on /metrics instead of
+		// one-off response bodies.
 		s.subs = s.subs[:len(s.subs)-1]
 		s.nextID--
-		return 0, err
+		telemetry.Metrics.Counter("resultsdb_persist_failures_total",
+			"submissions rejected because the store could not be persisted").Inc()
+		return 0, fmt.Errorf("resultsdb: persisting submission: %w", err)
 	}
 	return stored.ID, nil
 }
@@ -263,6 +271,7 @@ func (s *Store) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/submissions/", s.handleSubmission)
 	mux.HandleFunc("/api/v1/results", s.handleResults)
 	mux.HandleFunc("/api/v1/compare", s.handleCompare)
+	mux.HandleFunc("/api/v1/regressions", s.handleRegressions)
 	return mux
 }
 

@@ -17,6 +17,7 @@ package sched
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"time"
@@ -100,6 +101,10 @@ type Options struct {
 	// OnDone, when non-nil, observes each job outcome as it resolves
 	// (called from the scheduling goroutine, never concurrently).
 	OnDone func(JobResult)
+	// Tracker, when non-nil, observes the live schedule (per-job state,
+	// per-worker occupation, queue wait, crude ETA) and serves progress
+	// snapshots — the campaign "/status" view.
+	Tracker *Tracker
 }
 
 // Run executes the job DAG to completion and returns per-job results.
@@ -131,6 +136,9 @@ func Run(ctx context.Context, jobs []Job, opts Options) (Results, error) {
 		readyAt: make([]time.Time, len(jobs)),
 		active:  make(map[string]int),
 	}
+	opts.Tracker.begin(jobs, workers)
+	defer opts.Tracker.finish()
+	slog.Info("sched: campaign start", "jobs", len(jobs), "workers", workers)
 	return s.run(ctx)
 }
 
@@ -181,6 +189,7 @@ func (s *state) run(ctx context.Context) (Results, error) {
 		go func(worker int) {
 			for d := range dispatch {
 				job := jobs[d.idx]
+				s.opts.Tracker.start(d.idx, worker, d.queueWait)
 				sp := telemetry.StartSpanT("sched", "job:"+job.ID, worker)
 				sp.SetAttr("class", job.Class)
 				sp.SetAttr("queue_wait_us", d.queueWait)
@@ -265,6 +274,7 @@ func (s *state) enqueue(i int) {
 	copy(s.ready[at+1:], s.ready[at:])
 	s.ready[at] = i
 	s.readyAt[i] = time.Now()
+	s.opts.Tracker.ready(i)
 }
 
 // dispatchReady starts ready jobs while worker slots remain, always
@@ -302,6 +312,16 @@ func (s *state) resolve(i int, r JobResult) {
 	s.resolved++
 	telemetry.Metrics.Counter("sched_jobs_"+statusMetric(r.Status)+"_total",
 		"jobs resolved with status "+string(r.Status)).Inc()
+	s.opts.Tracker.resolve(i, r)
+	switch r.Status {
+	case Failed:
+		slog.Warn("sched: job failed",
+			"job", r.ID, "class", s.dag.jobs[i].Class, "attempts", r.Attempts, "err", r.Err)
+	case SkippedDep:
+		slog.Debug("sched: job skipped (dependency failed)", "job", r.ID, "err", r.Err)
+	default:
+		slog.Debug("sched: job resolved", "job", r.ID, "status", string(r.Status), "attempts", r.Attempts)
+	}
 	if s.opts.OnDone != nil {
 		s.opts.OnDone(r)
 	}
@@ -354,6 +374,7 @@ func runWithRetry(ctx context.Context, job Job, policy RetryPolicy) (error, int)
 		}
 		telemetry.Metrics.Counter("sched_job_retries_total",
 			"job attempts re-run after a retryable failure").Inc()
+		slog.Debug("sched: retrying job", "job", job.ID, "attempt", attempt, "err", err.Error())
 		if backoff > 0 {
 			select {
 			case <-time.After(backoff):

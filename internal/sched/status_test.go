@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTrackerIsSafe(t *testing.T) {
+	var tr *Tracker
+	tr.begin(nil, 0)
+	tr.ready(0)
+	tr.start(0, 0, 0)
+	tr.resolve(0, JobResult{})
+	tr.finish()
+	if s := tr.Snapshot(); s.Counts.Total != 0 {
+		t.Fatalf("nil tracker snapshot: %+v", s)
+	}
+}
+
+func TestTrackerMidCampaignSnapshot(t *testing.T) {
+	tr := NewTracker()
+	release := make(chan struct{})
+	var once sync.Once
+	inB := make(chan struct{})
+
+	jobs := []Job{
+		{ID: "a", Run: func(context.Context, int) error { return nil }},
+		{ID: "b", Deps: []string{"a"}, Class: "slow", Run: func(context.Context, int) error {
+			once.Do(func() { close(inB) })
+			<-release
+			return nil
+		}},
+		{ID: "c", Deps: []string{"b"}, Run: func(context.Context, int) error { return nil }},
+	}
+
+	var results Results
+	var runErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		results, runErr = Run(context.Background(), jobs, Options{Parallelism: 2, Tracker: tr})
+	}()
+
+	<-inB // b is executing, c still pending
+	s := tr.Snapshot()
+	if s.Finished {
+		t.Error("snapshot mid-campaign reports finished")
+	}
+	if s.Counts.Total != 3 || s.Counts.Done != 1 || s.Counts.Running != 1 || s.Counts.Pending != 1 {
+		t.Errorf("mid-campaign counts: %+v", s.Counts)
+	}
+	if len(s.Running) != 1 || s.Running[0].ID != "b" || s.Running[0].Class != "slow" {
+		t.Errorf("running jobs: %+v", s.Running)
+	}
+	busy := 0
+	for _, w := range s.Workers {
+		if w.JobID == "b" {
+			busy++
+			if w.RunningFor <= 0 {
+				t.Errorf("worker running_for: %+v", w)
+			}
+		}
+	}
+	if busy != 1 {
+		t.Errorf("workers: %+v", s.Workers)
+	}
+	if s.MeanExec <= 0 {
+		t.Errorf("mean exec after one resolved job: %v", s.MeanExec)
+	}
+	if s.ETA <= 0 {
+		t.Errorf("ETA with unresolved jobs: %v", s.ETA)
+	}
+	// The snapshot must be JSON-serializable (it backs /status).
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot JSON: %v", err)
+	}
+
+	close(release)
+	<-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results: %+v", results)
+	}
+
+	s = tr.Snapshot()
+	if !s.Finished {
+		t.Error("final snapshot not finished")
+	}
+	if s.Counts.Done != 3 || s.Counts.Running != 0 || s.Counts.Pending != 0 {
+		t.Errorf("final counts: %+v", s.Counts)
+	}
+	if s.ETA != 0 {
+		t.Errorf("final ETA: %v", s.ETA)
+	}
+	for _, w := range s.Workers {
+		if w.JobID != "" {
+			t.Errorf("worker busy after finish: %+v", w)
+		}
+	}
+}
+
+func TestTrackerCountsFailuresAndSkips(t *testing.T) {
+	tr := NewTracker()
+	boom := errors.New("boom")
+	jobs := []Job{
+		{ID: "a", Run: func(context.Context, int) error { return boom }},
+		{ID: "b", Deps: []string{"a"}, Run: func(context.Context, int) error { return nil }},
+		{ID: "c", Run: func(context.Context, int) error { return nil }},
+	}
+	if _, err := Run(context.Background(), jobs, Options{Parallelism: 1, Tracker: tr}); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Snapshot()
+	if s.Counts.Failed != 1 || s.Counts.Skipped != 1 || s.Counts.Done != 1 {
+		t.Fatalf("counts: %+v", s.Counts)
+	}
+}
+
+func TestTrackerConcurrentSnapshots(t *testing.T) {
+	tr := NewTracker()
+	var jobs []Job
+	for i := 0; i < 40; i++ {
+		id := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		jobs = append(jobs, Job{ID: id, Run: func(context.Context, int) error {
+			time.Sleep(time.Millisecond)
+			return nil
+		}})
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = tr.Snapshot()
+				}
+			}
+		}()
+	}
+	if _, err := Run(context.Background(), jobs, Options{Parallelism: 4, Tracker: tr}); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if s := tr.Snapshot(); s.Counts.Done != len(jobs) {
+		t.Fatalf("final: %+v", s.Counts)
+	}
+}

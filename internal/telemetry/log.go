@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// logLevel is the process-wide minimum level; SetupLogging installs it
+// so verbosity can change without rebuilding handlers.
+var logLevel = new(slog.LevelVar)
+
+// SetupLogging installs the process-wide slog default handler writing
+// to w (nil = stderr). format is "text" or "json"; level is one of
+// debug/info/warn/error. Long campaigns log one structured line per
+// event with stable keys (job, platform, graph, algorithm, …), so both
+// grep and jq work on the same stream.
+func SetupLogging(w io.Writer, format, level string) error {
+	if w == nil {
+		w = os.Stderr
+	}
+	switch strings.ToLower(level) {
+	case "", "info":
+		logLevel.Set(slog.LevelInfo)
+	case "debug":
+		logLevel.Set(slog.LevelDebug)
+	case "warn", "warning":
+		logLevel.Set(slog.LevelWarn)
+	case "error":
+		logLevel.Set(slog.LevelError)
+	default:
+		return fmt.Errorf("telemetry: unknown log level %q (debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: logLevel}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return fmt.Errorf("telemetry: unknown log format %q (text|json)", format)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
+}

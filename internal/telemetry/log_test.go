@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestSetupLoggingJSON(t *testing.T) {
+	var buf strings.Builder
+	if err := SetupLogging(&buf, "json", "debug"); err != nil {
+		t.Fatal(err)
+	}
+	slog.Debug("hello", "campaign", "c1", "cell", "pregel/g/BFS")
+	line := strings.TrimSpace(buf.String())
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, line)
+	}
+	if rec["msg"] != "hello" || rec["cell"] != "pregel/g/BFS" {
+		t.Fatalf("record: %v", rec)
+	}
+}
+
+func TestSetupLoggingTextAndLevels(t *testing.T) {
+	var buf strings.Builder
+	if err := SetupLogging(&buf, "text", "warn"); err != nil {
+		t.Fatal(err)
+	}
+	slog.Info("suppressed")
+	slog.Warn("kept", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "suppressed") {
+		t.Fatalf("info not filtered at warn level:\n%s", out)
+	}
+	if !strings.Contains(out, "kept") || !strings.Contains(out, "k=v") {
+		t.Fatalf("warn line missing:\n%s", out)
+	}
+}
+
+func TestSetupLoggingRejectsUnknown(t *testing.T) {
+	if err := SetupLogging(nil, "xml", "info"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := SetupLogging(nil, "text", "loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
