@@ -849,6 +849,118 @@ func BenchmarkBuildCSR(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// Platform kernel parallelism: the worker-gated kernels at workers=1
+// (the retained sequential paths) vs workers=4. The reference kernels
+// change algorithm on the parallel path (direction-optimizing BFS,
+// pull-based PR), so their speedup has an algorithmic component that
+// shows even on one core; the engine benchmarks scale with real cores.
+
+func kernelWorkerCounts() []int { return []int{1, 4} }
+
+func BenchmarkKernelBFS(b *testing.B) {
+	social := ldbcBenchGraph(b, false)
+	// Fixed scale, like ldbcBenchGraph: the kernel benchmarks track
+	// kernel performance across commits, so the input must not shrink
+	// with the CI scale knobs (at tiny scales the spawn overhead of the
+	// parallel path drowns the measurement in noise).
+	rmat, err := graphalytics.GenerateRMAT(12, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{{"social", social}, {"rmat", rmat}} {
+		for _, workers := range kernelWorkerCounts() {
+			b.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(b *testing.B) {
+				ctx := context.Background()
+				var out algo.BFSOutput
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var err error
+					out, err = algo.RunBFSOpt(ctx, tc.g, 0, workers)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				traversed := algo.BFSTraversedEdges(tc.g, out)
+				b.ReportMetric(float64(traversed)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Medges/s")
+			})
+		}
+	}
+}
+
+func BenchmarkKernelPageRank(b *testing.B) {
+	g := ldbcBenchGraph(b, false)
+	params := algo.Params{}.WithDefaults(g.NumVertices())
+	for _, workers := range kernelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ranks, err := algo.RunPageRankOpt(ctx, g, params, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ranks) != g.NumVertices() {
+					b.Fatal("bad output")
+				}
+			}
+			edgesPerOp := float64(g.NumArcs()) * float64(params.PRIterations)
+			b.ReportMetric(edgesPerOp*float64(b.N)/b.Elapsed().Seconds()/1e6, "Medges/s")
+		})
+	}
+}
+
+// benchEngineKernel benchmarks one platform workload at a given worker
+// count (ETL excluded).
+func benchEngineKernel(b *testing.B, p platform.Platform, g *graph.Graph, kind algo.Kind) {
+	b.Helper()
+	loaded, err := p.LoadGraph(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer loaded.Close()
+	ctx := context.Background()
+	params := algo.Params{Source: 0, Seed: 42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := loaded.Run(ctx, kind, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(g.NumArcs())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Marcs/s")
+}
+
+func BenchmarkKernelPregelPR(b *testing.B) {
+	g := ldbcBenchGraph(b, false)
+	for _, workers := range kernelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchEngineKernel(b, pregel.New(pregel.Options{Workers: workers}), g, algo.PR)
+		})
+	}
+}
+
+func BenchmarkKernelDataflowPR(b *testing.B) {
+	g := ldbcBenchGraph(b, false)
+	for _, parts := range kernelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", parts), func(b *testing.B) {
+			benchEngineKernel(b, dataflow.New(dataflow.Options{Parts: parts}), g, algo.PR)
+		})
+	}
+}
+
+func BenchmarkKernelMapReduceCONN(b *testing.B) {
+	g := ldbcBenchGraph(b, false)
+	for _, workers := range kernelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchEngineKernel(b, mapreduce.New(mapreduce.Options{Workers: workers, RoundOverhead: -1}), g, algo.CONN)
+		})
+	}
+}
+
 func BenchmarkSSSPHotLoop(b *testing.B) {
 	for _, weighted := range []bool{false, true} {
 		name := "unit-weights"

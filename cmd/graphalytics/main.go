@@ -25,22 +25,27 @@
 //	benchmark.output.dir     = report/
 //	platform.dataflow.memory = 268435456
 //	platform.graphdb.memory  = 268435456
+//	platform.pregel.workers  = 8
+//	platform.dataflow.workers = 4
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"graphalytics"
@@ -71,6 +76,7 @@ func run() error {
 		graphsSpec = flag.String("graphs", "", "comma-separated graph specs (social:N, rmat:SCALE, amazon|youtube|livejournal|patents|wikipedia, or file:PATH.e)")
 		weighted   = flag.Bool("weighted", false, "generate social/rmat graphs with seeded edge weights (SSSP consumes them)")
 		loadWork   = flag.Int("load-workers", 0, "graph ingest workers: parallel parse, interning, and CSR build (0 = all cores, 1 = sequential loader)")
+		platWork   = flag.Int("platform-workers", 0, "kernel workers per platform: pregel BSP workers, mapreduce slots, dataflow partitions (0 = all cores, 1 = sequential kernels; graphdb is single-threaded by design; per-platform override: platform.<name>.workers)")
 		timeout    = flag.Duration("timeout", 5*time.Minute, "per-run timeout")
 		outDir     = flag.String("out", "graphalytics-report", "report output directory")
 		validate   = flag.Bool("validate", true, "validate outputs against the reference")
@@ -179,9 +185,12 @@ func run() error {
 	if v, err := props.Int64("benchmark.run.loadworkers", int64(*loadWork)); err == nil {
 		*loadWork = int(v)
 	}
+	if v, err := props.Int64("benchmark.run.platformworkers", int64(*platWork)); err == nil {
+		*platWork = int(v)
+	}
 	dir := pick(*outDir, "benchmark.output.dir", "graphalytics-report")
 
-	plats, err := buildPlatforms(platformNames, props)
+	plats, err := buildPlatforms(platformNames, props, *platWork)
 	if err != nil {
 		return err
 	}
@@ -220,8 +229,22 @@ func run() error {
 		},
 	}
 	fmt.Printf("running %d platforms × %d graphs × %d algorithms\n", len(plats), len(graphs), len(algs))
-	rep, err := bench.Run(context.Background())
+	// Ctrl-C cancels the campaign context: the running kernel notices
+	// within one check stride, in-flight cells come back cancelled (not
+	// failed), and journaled cells survive for -resume. A second Ctrl-C
+	// after stop() restores the default handler and kills the process.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	rep, err := bench.Run(ctx)
+	stopSignals()
 	if err != nil {
+		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+			hint := ""
+			if *resume != "" {
+				hint = fmt.Sprintf("; re-run with -resume %s to continue", *resume)
+			}
+			return fmt.Errorf("interrupted: campaign cancelled, finished cells journaled%s", hint)
+		}
 		return err
 	}
 	fmt.Println(rep.Summary())
@@ -389,21 +412,28 @@ func splitList(s string) []string {
 	return out
 }
 
-func buildPlatforms(names []string, props *config.Properties) ([]platform.Platform, error) {
+func buildPlatforms(names []string, props *config.Properties, workers int) ([]platform.Platform, error) {
 	var out []platform.Platform
 	for _, name := range names {
 		mem, err := props.Int64("platform."+name+".memory", 0)
 		if err != nil {
 			return nil, err
 		}
+		w64, err := props.Int64("platform."+name+".workers", int64(workers))
+		if err != nil {
+			return nil, err
+		}
+		w := int(w64)
 		switch name {
 		case "pregel":
-			out = append(out, graphalytics.NewPregel(graphalytics.PregelOptions{MemoryBudget: mem}))
+			out = append(out, graphalytics.NewPregel(graphalytics.PregelOptions{MemoryBudget: mem, Workers: w}))
 		case "mapreduce":
-			out = append(out, graphalytics.NewMapReduce(graphalytics.MapReduceOptions{}))
+			out = append(out, graphalytics.NewMapReduce(graphalytics.MapReduceOptions{Workers: w}))
 		case "dataflow":
-			out = append(out, graphalytics.NewDataflow(graphalytics.DataflowOptions{MemoryBudget: mem}))
+			out = append(out, graphalytics.NewDataflow(graphalytics.DataflowOptions{MemoryBudget: mem, Parts: w}))
 		case "graphdb":
+			// Single-threaded by design (record-store fidelity): the
+			// workers knob intentionally does not reach it.
 			out = append(out, graphalytics.NewGraphDB(graphalytics.GraphDBOptions{MemoryBudget: mem}))
 		default:
 			return nil, fmt.Errorf("unknown platform %q", name)

@@ -60,7 +60,8 @@ func TestParseAlgorithms(t *testing.T) {
 func TestBuildPlatforms(t *testing.T) {
 	props := config.New()
 	props.Set("platform.dataflow.memory", "123456")
-	plats, err := buildPlatforms([]string{"pregel", "mapreduce", "dataflow", "graphdb"}, props)
+	props.Set("platform.pregel.workers", "3")
+	plats, err := buildPlatforms([]string{"pregel", "mapreduce", "dataflow", "graphdb"}, props, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,12 +77,17 @@ func TestBuildPlatforms(t *testing.T) {
 			t.Errorf("missing platform %s", want)
 		}
 	}
-	if _, err := buildPlatforms([]string{"spark"}, props); err == nil {
+	if _, err := buildPlatforms([]string{"spark"}, props, 0); err == nil {
 		t.Error("unknown platform should fail")
 	}
 	props.Set("platform.pregel.memory", "notanumber")
-	if _, err := buildPlatforms([]string{"pregel"}, props); err == nil {
+	if _, err := buildPlatforms([]string{"pregel"}, props, 0); err == nil {
 		t.Error("bad memory value should fail")
+	}
+	props.Set("platform.pregel.memory", "0")
+	props.Set("platform.pregel.workers", "notanumber")
+	if _, err := buildPlatforms([]string{"pregel"}, props, 0); err == nil {
+		t.Error("bad workers value should fail")
 	}
 }
 

@@ -1,0 +1,125 @@
+package algo
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestBFSOptMatchesReference(t *testing.T) {
+	cases := []struct {
+		name string
+		n, m int
+		dir  bool
+	}{
+		{"directed", 300, 1500, true},
+		{"undirected", 300, 1500, false},
+		{"sparse", 400, 300, false},
+		{"dense", 120, 4000, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := randomGraph(t, tc.n, tc.m, 17, tc.dir)
+			want := RunBFS(g, 0)
+			for _, workers := range []int{1, 2, 8} {
+				got, err := RunBFSOpt(context.Background(), g, 0, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("workers=%d: depths diverge from RunBFS", workers)
+				}
+			}
+		})
+	}
+}
+
+func TestBFSOptOutOfRangeSource(t *testing.T) {
+	g := randomGraph(t, 10, 20, 1, false)
+	out, err := RunBFSOpt(context.Background(), g, 99, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range out {
+		if d != -1 {
+			t.Fatal("out-of-range source must leave every vertex unreached")
+		}
+	}
+}
+
+func TestPageRankOptMatchesReference(t *testing.T) {
+	for _, dir := range []bool{true, false} {
+		g := randomGraph(t, 250, 1200, 23, dir)
+		p := Params{PRIterations: 20}
+		want := RunPageRank(g, p)
+		for _, workers := range []int{1, 2, 8} {
+			got, err := RunPageRankOpt(context.Background(), g, p, workers)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d: length %d, want %d", workers, len(got), len(want))
+			}
+			for v := range want {
+				if math.Abs(got[v]-want[v]) > 1e-9 {
+					t.Fatalf("workers=%d dir=%v: rank[%d] = %v, want %v", workers, dir, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestPageRankOptParallelDeterministic(t *testing.T) {
+	g := randomGraph(t, 200, 900, 5, false)
+	p := Params{PRIterations: 15}
+	a, err := RunPageRankOpt(context.Background(), g, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPageRankOpt(context.Background(), g, p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pull kernel sums in fixed in-neighbor order, so parallel
+	// outputs are bit-identical across worker counts.
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("pull PageRank output depends on worker count")
+	}
+}
+
+func TestKernelsCancelled(t *testing.T) {
+	g := randomGraph(t, 2000, 20000, 7, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		if _, err := RunBFSOpt(ctx, g, 0, workers); !errors.Is(err, context.Canceled) {
+			t.Errorf("BFS workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if _, err := RunPageRankOpt(ctx, g, Params{PRIterations: 1000}, workers); !errors.Is(err, context.Canceled) {
+			t.Errorf("PR workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestPageRankOptCancelMidRun(t *testing.T) {
+	g := randomGraph(t, 3000, 30000, 3, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunPageRankOpt(ctx, g, Params{PRIterations: 1 << 30}, 4)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("PageRank did not return promptly after cancel")
+	}
+}

@@ -212,11 +212,15 @@ func (b *Benchmark) Run(ctx context.Context) (*report.Report, error) {
 
 // transient classifies errors the scheduler may retry: everything
 // except the terminal missing-value states (out of memory, timeout)
-// and campaign cancellation.
+// and interruption. platform.ErrInterrupted always wraps the context
+// error, so the two context checks already cover it; the explicit
+// sentinel check keeps a cancelled kernel out of the retry budget even
+// if a platform ever wraps the sentinel without the cause.
 func transient(err error) bool {
 	return !errors.Is(err, platform.ErrOutOfMemory) &&
 		!errors.Is(err, context.DeadlineExceeded) &&
-		!errors.Is(err, context.Canceled)
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, platform.ErrInterrupted)
 }
 
 func checkUniqueNames(platforms []platform.Platform, graphs []*graph.Graph) error {
@@ -529,6 +533,11 @@ func (c *campaign) runCell(ctx context.Context, pg *pgState, a algo.Kind) (repor
 				r.Status = report.StatusOOM
 			case errors.Is(err, context.DeadlineExceeded):
 				r.Status = report.StatusTimeout
+			case errors.Is(err, context.Canceled):
+				// The platform was interrupted (platform.ErrInterrupted
+				// wraps the context error), not broken: the cell is
+				// cancelled, never a platform failure.
+				r.Status = report.StatusCancelled
 			default:
 				r.Status = report.StatusError
 			}

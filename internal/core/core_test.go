@@ -2,7 +2,10 @@ package core
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -128,6 +131,89 @@ func TestEmptyConfigRejected(t *testing.T) {
 	}
 	if _, err := (&Benchmark{Platforms: []platform.Platform{pregel.New(pregel.Options{})}}).Run(context.Background()); err == nil {
 		t.Error("no graphs should error")
+	}
+}
+
+// fakeCancelPlatform counts Run invocations and delegates to a
+// configurable body — the instrument for the cancelled-vs-failed cell
+// distinction tests.
+type fakeCancelPlatform struct {
+	name string
+	runs atomic.Int32
+	run  func(ctx context.Context) error
+}
+
+func (p *fakeCancelPlatform) Name() string { return p.name }
+func (p *fakeCancelPlatform) LoadGraph(g *graph.Graph) (platform.Loaded, error) {
+	return &fakeCancelLoaded{p: p, g: g}, nil
+}
+
+type fakeCancelLoaded struct {
+	p *fakeCancelPlatform
+	g *graph.Graph
+}
+
+func (l *fakeCancelLoaded) Graph() *graph.Graph { return l.g }
+func (l *fakeCancelLoaded) Close() error        { return nil }
+func (l *fakeCancelLoaded) Run(ctx context.Context, _ algo.Kind, _ algo.Params) (*platform.Result, error) {
+	l.p.runs.Add(1)
+	return nil, l.p.run(ctx)
+}
+
+func TestCancelledCellNotRecordedOrRetried(t *testing.T) {
+	g := smokeGraph(t, 50, "cancel-mid")
+	p := &fakeCancelPlatform{name: "fake"}
+	p.run = func(ctx context.Context) error {
+		<-ctx.Done()
+		return platform.CheckContextPhase(ctx, "fake/loop")
+	}
+	b := &Benchmark{
+		Platforms:  []platform.Platform{p},
+		Graphs:     []*graph.Graph{g},
+		Algorithms: []algo.Kind{algo.PR},
+		Retries:    5,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := b.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run err = %v, want context.Canceled", err)
+	}
+	if n := p.runs.Load(); n != 1 {
+		t.Errorf("platform ran %d times, want 1: cancellation must not burn the retry budget", n)
+	}
+}
+
+func TestPlatformCancellationRecordedAsCancelled(t *testing.T) {
+	// The platform reports an interrupted kernel while the campaign
+	// context is still alive: the cell must land as cancelled (not a
+	// platform failure) after exactly one attempt.
+	g := smokeGraph(t, 50, "cancel-rec")
+	p := &fakeCancelPlatform{name: "fake"}
+	p.run = func(context.Context) error {
+		return fmt.Errorf("engine stop: %w", context.Canceled)
+	}
+	b := &Benchmark{
+		Platforms:  []platform.Platform{p},
+		Graphs:     []*graph.Graph{g},
+		Algorithms: []algo.Kind{algo.BFS},
+		Retries:    3,
+	}
+	rep, err := b.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Results[0]
+	if r.Status != report.StatusCancelled {
+		t.Errorf("status = %s, want %s", r.Status, report.StatusCancelled)
+	}
+	if r.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1: a cancelled cell must not retry", r.Attempts)
+	}
+	if n := p.runs.Load(); n != 1 {
+		t.Errorf("platform ran %d times, want 1", n)
 	}
 }
 

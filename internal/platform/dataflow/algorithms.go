@@ -3,6 +3,7 @@ package dataflow
 import (
 	"context"
 	"sort"
+	"sync/atomic"
 
 	"graphalytics/internal/algo"
 	"graphalytics/internal/graph"
@@ -14,7 +15,7 @@ import (
 
 func (l *loaded) runBFS(ctx context.Context, env *Env, p algo.Params) (algo.BFSOutput, error) {
 	n := l.g.NumVertices()
-	depths, err := MapVertices(env, n, 8, func(v graph.VertexID) int64 {
+	depths, err := MapVertices(ctx, env, n, 8, func(v graph.VertexID) int64 {
 		if v == p.Source {
 			return 0
 		}
@@ -33,7 +34,7 @@ func (l *loaded) runBFS(ctx context.Context, env *Env, p algo.Params) (algo.BFSO
 			return nil, err
 		}
 		env.Counters.Supersteps++
-		msgs, err := AggregateMessages(env, depths, 8, 8,
+		msgs, err := AggregateMessages(ctx, env, depths, 8, 8,
 			func(c *Ctx[int64], u, v graph.VertexID, du, dv int64) {
 				if active[u] && dv == -1 {
 					c.SendToDst(v, du+1)
@@ -52,7 +53,7 @@ func (l *loaded) runBFS(ctx context.Context, env *Env, p algo.Params) (algo.BFSO
 			break
 		}
 		nextActive := make([]bool, n)
-		depths, err = JoinVertices(env, depths, 8, msgs, func(v graph.VertexID, d int64, m int64) int64 {
+		depths, err = JoinVertices(ctx, env, depths, 8, msgs, func(v graph.VertexID, d int64, m int64) int64 {
 			if d == -1 {
 				nextActive[v] = true
 				return m
@@ -71,7 +72,7 @@ func (l *loaded) runBFS(ctx context.Context, env *Env, p algo.Params) (algo.BFSO
 
 func (l *loaded) runConn(ctx context.Context, env *Env, p algo.Params) (algo.ConnOutput, error) {
 	n := l.g.NumVertices()
-	labels, err := MapVertices(env, n, 4, func(v graph.VertexID) graph.VertexID { return v })
+	labels, err := MapVertices(ctx, env, n, 4, func(v graph.VertexID) graph.VertexID { return v })
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +92,7 @@ func (l *loaded) runConn(ctx context.Context, env *Env, p algo.Params) (algo.Con
 			return nil, err
 		}
 		env.Counters.Supersteps++
-		msgs, err := AggregateMessages(env, labels, 4, 4,
+		msgs, err := AggregateMessages(ctx, env, labels, 4, 4,
 			func(c *Ctx[graph.VertexID], u, v graph.VertexID, du, dv graph.VertexID) {
 				if active[u] && du < dv {
 					c.SendToDst(v, du)
@@ -107,11 +108,11 @@ func (l *loaded) runConn(ctx context.Context, env *Env, p algo.Params) (algo.Con
 			break
 		}
 		nextActive := make([]bool, n)
-		changed := false
-		labels, err = JoinVertices(env, labels, 4, msgs, func(v graph.VertexID, d graph.VertexID, m graph.VertexID) graph.VertexID {
+		var changed atomic.Bool // join closures run chunked in parallel
+		labels, err = JoinVertices(ctx, env, labels, 4, msgs, func(v graph.VertexID, d graph.VertexID, m graph.VertexID) graph.VertexID {
 			if m < d {
 				nextActive[v] = true
-				changed = true
+				changed.Store(true)
 				return m
 			}
 			return d
@@ -120,7 +121,7 @@ func (l *loaded) runConn(ctx context.Context, env *Env, p algo.Params) (algo.Con
 			return nil, err
 		}
 		active = nextActive
-		if !changed {
+		if !changed.Load() {
 			break
 		}
 	}
@@ -138,10 +139,16 @@ type cdVD struct {
 
 func (l *loaded) runCD(ctx context.Context, env *Env, p algo.Params) (algo.CDOutput, error) {
 	n := l.g.NumVertices()
+	// Degrees are gathered up front: the MapVertices closure runs
+	// chunked in parallel, so it cannot share a scratch buffer.
+	degs := make([]int32, n)
 	var buf []graph.VertexID
-	verts, err := MapVertices(env, n, 20, func(v graph.VertexID) cdVD {
-		buf = l.g.Neighborhood(v, buf[:0])
-		return cdVD{label: int64(v), score: 1, degree: int32(len(buf))}
+	for v := 0; v < n; v++ {
+		buf = l.g.Neighborhood(graph.VertexID(v), buf[:0])
+		degs[v] = int32(len(buf))
+	}
+	verts, err := MapVertices(ctx, env, n, 20, func(v graph.VertexID) cdVD {
+		return cdVD{label: int64(v), score: 1, degree: degs[v]}
 	})
 	if err != nil {
 		return nil, err
@@ -154,7 +161,7 @@ func (l *loaded) runCD(ctx context.Context, env *Env, p algo.Params) (algo.CDOut
 		env.Counters.Supersteps++
 		// Votes travel once per unordered neighbor pair (canonical arcs),
 		// merged by list concatenation; TallyVotes canonicalizes order.
-		msgs, err := AggregateMessages(env, verts, 20, 20,
+		msgs, err := AggregateMessages(ctx, env, verts, 20, 20,
 			func(c *Ctx[[]algo.Vote], u, v graph.VertexID, du, dv cdVD) {
 				if !CanonicalArc(l.g, u, v) {
 					return
@@ -166,7 +173,7 @@ func (l *loaded) runCD(ctx context.Context, env *Env, p algo.Params) (algo.CDOut
 		if err != nil {
 			return nil, err
 		}
-		verts, err = JoinVertices(env, verts, 20, msgs, func(v graph.VertexID, d cdVD, votes []algo.Vote) cdVD {
+		verts, err = JoinVertices(ctx, env, verts, 20, msgs, func(v graph.VertexID, d cdVD, votes []algo.Vote) cdVD {
 			win, maxScore, ok := algo.TallyVotes(votes, p.CDPreference)
 			if !ok {
 				return d
@@ -196,12 +203,12 @@ func (l *loaded) runCD(ctx context.Context, env *Env, p algo.Params) (algo.CDOut
 func (l *loaded) runStats(ctx context.Context, env *Env, p algo.Params) (algo.StatsOutput, error) {
 	n := l.g.NumVertices()
 	// Round 1: collect neighbor IDs (both directions), dedup + sort.
-	empty, err := MapVertices(env, n, 24, func(graph.VertexID) []graph.VertexID { return nil })
+	empty, err := MapVertices(ctx, env, n, 24, func(graph.VertexID) []graph.VertexID { return nil })
 	if err != nil {
 		return algo.StatsOutput{}, err
 	}
 	env.Counters.Supersteps++
-	collected, err := AggregateMessages(env, empty, 24, 24,
+	collected, err := AggregateMessages(ctx, env, empty, 24, 24,
 		func(c *Ctx[[]graph.VertexID], u, v graph.VertexID, _, _ []graph.VertexID) {
 			c.SendToDst(v, []graph.VertexID{u})
 			c.SendToSrc(u, []graph.VertexID{v})
@@ -210,8 +217,7 @@ func (l *loaded) runStats(ctx context.Context, env *Env, p algo.Params) (algo.St
 	if err != nil {
 		return algo.StatsOutput{}, err
 	}
-	nbhBytes := int64(0)
-	nbh, err := JoinVertices(env, empty, 24, collected, func(v graph.VertexID, _ []graph.VertexID, ids []graph.VertexID) []graph.VertexID {
+	nbh, err := JoinVertices(ctx, env, empty, 24, collected, func(v graph.VertexID, _ []graph.VertexID, ids []graph.VertexID) []graph.VertexID {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		out := ids[:0]
 		var last graph.VertexID
@@ -225,11 +231,16 @@ func (l *loaded) runStats(ctx context.Context, env *Env, p algo.Params) (algo.St
 			out = append(out, x)
 			last = x
 		}
-		nbhBytes += int64(len(out)) * 4
 		return out
 	})
 	if err != nil {
 		return algo.StatsOutput{}, err
+	}
+	// Neighborhood-list bytes are summed after the join: the join
+	// closures run in parallel and cannot share an accumulator.
+	nbhBytes := int64(0)
+	for _, ids := range nbh {
+		nbhBytes += int64(len(ids)) * 4
 	}
 	if err := env.allocRetained(nbhBytes); err != nil {
 		return algo.StatsOutput{}, err
@@ -237,7 +248,7 @@ func (l *loaded) runStats(ctx context.Context, env *Env, p algo.Params) (algo.St
 
 	// Round 2: per canonical neighbor pair, exchange closed-pair counts.
 	env.Counters.Supersteps++
-	counts, err := AggregateMessages(env, nbh, 24, 8,
+	counts, err := AggregateMessages(ctx, env, nbh, 24, 8,
 		func(c *Ctx[int64], u, v graph.VertexID, nu, nv []graph.VertexID) {
 			if !CanonicalArc(l.g, u, v) {
 				return
@@ -274,7 +285,7 @@ func (l *loaded) runEvo(ctx context.Context, env *Env, p algo.Params) (algo.EvoO
 	n := l.g.NumVertices()
 	k := p.EvoNewVertices
 
-	verts, err := MapVertices(env, n, 32, func(graph.VertexID) evoVD { return evoVD{} })
+	verts, err := MapVertices(ctx, env, n, 32, func(graph.VertexID) evoVD { return evoVD{} })
 	if err != nil {
 		return algo.EvoOutput{}, err
 	}
@@ -307,7 +318,7 @@ func (l *loaded) runEvo(ctx context.Context, env *Env, p algo.Params) (algo.EvoO
 		// the driver-side spread targets for this level.
 		spread := make(map[graph.VertexID][]uint32) // target -> requesting fires
 		levelAllowed := allowed
-		verts, err = JoinVertices(env, verts, 32, levelAllowed, func(v graph.VertexID, d evoVD, fires []uint32) evoVD {
+		verts, err = JoinVertices(ctx, env, verts, 32, levelAllowed, func(v graph.VertexID, d evoVD, fires []uint32) evoVD {
 			nb := append(append([]uint32(nil), d.burned...), fires...)
 			return evoVD{burned: nb}
 		})

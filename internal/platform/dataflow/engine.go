@@ -22,6 +22,7 @@
 package dataflow
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -126,14 +127,16 @@ type SendFuncW[VD, M any] func(c *Ctx[M], u, v graph.VertexID, w float64, du, dv
 // vdSize and msgSize are the per-element sizes used for memory and
 // network accounting. merge must be commutative and associative (or the
 // caller must canonicalize afterwards, as the CD vote-list merge does).
-func AggregateMessages[VD, M any](env *Env, verts []VD, vdSize, msgSize int64, send SendFunc[VD, M], merge func(M, M) M) (map[graph.VertexID]M, error) {
-	return AggregateMessagesW(env, verts, vdSize, msgSize,
+func AggregateMessages[VD, M any](ctx context.Context, env *Env, verts []VD, vdSize, msgSize int64, send SendFunc[VD, M], merge func(M, M) M) (map[graph.VertexID]M, error) {
+	return AggregateMessagesW(ctx, env, verts, vdSize, msgSize,
 		func(c *Ctx[M], u, v graph.VertexID, _ float64, du, dv VD) { send(c, u, v, du, dv) }, merge)
 }
 
 // AggregateMessagesW is AggregateMessages with edge weights exposed to
-// the send function.
-func AggregateMessagesW[VD, M any](env *Env, verts []VD, vdSize, msgSize int64, send SendFuncW[VD, M], merge func(M, M) M) (map[graph.VertexID]M, error) {
+// the send function. The triplet scan is chunked across env.Parts
+// workers, each probing ctx every CheckStride source vertices, so even
+// one scan over a huge arc set stays interruptible.
+func AggregateMessagesW[VD, M any](ctx context.Context, env *Env, verts []VD, vdSize, msgSize int64, send SendFuncW[VD, M], merge func(M, M) M) (map[graph.VertexID]M, error) {
 	n := env.G.NumVertices()
 	arcs := env.G.NumArcs()
 
@@ -154,10 +157,9 @@ func AggregateMessagesW[VD, M any](env *Env, verts []VD, vdSize, msgSize int64, 
 
 	parts := env.Parts
 	ctxs := make([]*Ctx[M], parts)
+	errs := make([]error, parts)
 	var wg sync.WaitGroup
 	chunk := (n + parts - 1) / parts
-	start := time.Now()
-	_ = start
 	for p := 0; p < parts; p++ {
 		lo, hi := p*chunk, (p+1)*chunk
 		if hi > n {
@@ -173,6 +175,10 @@ func AggregateMessagesW[VD, M any](env *Env, verts []VD, vdSize, msgSize int64, 
 			t0 := time.Now()
 			c := ctxs[p]
 			for u := lo; u < hi; u++ {
+				if (u-lo)%platform.CheckStride == 0 && ctx.Err() != nil {
+					errs[p] = platform.CheckContextPhase(ctx, "dataflow/aggregate")
+					break
+				}
 				adj := env.G.OutNeighbors(graph.VertexID(u))
 				ws := env.G.OutWeights(graph.VertexID(u))
 				for i, v := range adj {
@@ -184,23 +190,21 @@ func AggregateMessagesW[VD, M any](env *Env, verts []VD, vdSize, msgSize int64, 
 		}(p, lo, hi)
 	}
 	wg.Wait()
-
-	// Shuffle-merge partition accumulators (fixed order).
-	out := make(map[graph.VertexID]M)
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
 	var msgBytes int64
 	for _, c := range ctxs {
-		for v, m := range c.acc {
-			if old, ok := out[v]; ok {
-				out[v] = merge(old, m)
-			} else {
-				out[v] = m
-			}
-		}
 		env.Counters.Messages += c.sent
 		env.Counters.MessageBytes += c.sentB
 		env.Counters.NetworkBytes += c.netB
 		env.Counters.EdgesTraversed += c.edges
 		msgBytes += c.sentB
+	}
+
+	out, err := shuffleMerge(ctx, env, ctxs, merge)
+	if err != nil {
+		return nil, err
 	}
 	// Merged message dataset is retained until joined.
 	if env.Mem != nil {
@@ -213,30 +217,192 @@ func AggregateMessagesW[VD, M any](env *Env, verts []VD, vdSize, msgSize int64, 
 	return out, nil
 }
 
+// shuffleMerge combines the per-partition accumulators into one message
+// dataset. Each source partition buckets its accumulator by destination
+// shard (parallel), then each shard merges its buckets in ascending
+// partition order (parallel) — per key that is the exact merge order the
+// old sequential loop used, so the result is unchanged for any Parts.
+func shuffleMerge[M any](ctx context.Context, env *Env, ctxs []*Ctx[M], merge func(M, M) M) (map[graph.VertexID]M, error) {
+	parts := env.Parts
+	if parts == 1 {
+		// Single partition: its accumulator already is the merged dataset.
+		return ctxs[0].acc, nil
+	}
+	type kv struct {
+		v graph.VertexID
+		m M
+	}
+	shardOf := func(v graph.VertexID) int {
+		return int(uint64(v)*0x9e3779b97f4a7c15>>32) % parts
+	}
+	buckets := make([][][]kv, parts) // [src partition][dst shard]
+	errs := make([]error, parts)
+	var bwg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		bwg.Add(1)
+		go func(p int) {
+			defer bwg.Done()
+			b := make([][]kv, parts)
+			cnt := 0
+			for v, m := range ctxs[p].acc {
+				if cnt%platform.CheckStride == 0 && ctx.Err() != nil {
+					errs[p] = platform.CheckContextPhase(ctx, "dataflow/shuffle")
+					return
+				}
+				cnt++
+				s := shardOf(v)
+				b[s] = append(b[s], kv{v, m})
+			}
+			buckets[p] = b
+		}(p)
+	}
+	bwg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+
+	shards := make([]map[graph.VertexID]M, parts)
+	var mwg sync.WaitGroup
+	for s := 0; s < parts; s++ {
+		mwg.Add(1)
+		go func(s int) {
+			defer mwg.Done()
+			shard := make(map[graph.VertexID]M)
+			cnt := 0
+			for p := 0; p < parts; p++ {
+				for _, e := range buckets[p][s] {
+					if cnt%platform.CheckStride == 0 && ctx.Err() != nil {
+						errs[s] = platform.CheckContextPhase(ctx, "dataflow/shuffle")
+						return
+					}
+					cnt++
+					if old, ok := shard[e.v]; ok {
+						shard[e.v] = merge(old, e.m)
+					} else {
+						shard[e.v] = e.m
+					}
+				}
+			}
+			shards[s] = shard
+		}(s)
+	}
+	mwg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+
+	total := 0
+	for _, shard := range shards {
+		total += len(shard)
+	}
+	out := make(map[graph.VertexID]M, total)
+	for _, shard := range shards {
+		for v, m := range shard {
+			out[v] = m
+		}
+	}
+	return out, nil
+}
+
 // JoinVertices materializes the next immutable vertex dataset: a full
-// copy of verts with f applied to vertices that received a message.
-func JoinVertices[VD, M any](env *Env, verts []VD, vdSize int64, msgs map[graph.VertexID]M, f func(v graph.VertexID, d VD, m M) VD) ([]VD, error) {
+// copy of verts with f applied to vertices that received a message. The
+// copy and the per-message joins are chunked across env.Parts workers;
+// f may be called concurrently and must not mutate state shared across
+// calls (per-vertex writes to distinct slice elements are fine).
+func JoinVertices[VD, M any](ctx context.Context, env *Env, verts []VD, vdSize int64, msgs map[graph.VertexID]M, f func(v graph.VertexID, d VD, m M) VD) ([]VD, error) {
 	if err := env.allocRetained(int64(len(verts)) * vdSize); err != nil {
 		return nil, err
 	}
 	next := make([]VD, len(verts))
-	copy(next, verts)
-	for v, m := range msgs {
-		next[v] = f(v, verts[v], m)
+	if err := forChunks(env.Parts, len(verts), func(_, lo, hi int) error {
+		if ctx.Err() != nil {
+			return platform.CheckContextPhase(ctx, "dataflow/join")
+		}
+		copy(next[lo:hi], verts[lo:hi])
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	keys := make([]graph.VertexID, 0, len(msgs))
+	for v := range msgs {
+		keys = append(keys, v)
+	}
+	if err := forChunks(env.Parts, len(keys), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if (i-lo)%platform.CheckStride == 0 && ctx.Err() != nil {
+				return platform.CheckContextPhase(ctx, "dataflow/join")
+			}
+			v := keys[i]
+			next[v] = f(v, verts[v], msgs[v])
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return next, nil
 }
 
-// MapVertices materializes a fresh dataset with f applied everywhere.
-func MapVertices[VD any](env *Env, n int, vdSize int64, f func(v graph.VertexID) VD) ([]VD, error) {
+// MapVertices materializes a fresh dataset with f applied everywhere,
+// chunked across env.Parts workers; f may be called concurrently.
+func MapVertices[VD any](ctx context.Context, env *Env, n int, vdSize int64, f func(v graph.VertexID) VD) ([]VD, error) {
 	if err := env.allocRetained(int64(n) * vdSize); err != nil {
 		return nil, err
 	}
 	out := make([]VD, n)
-	for v := 0; v < n; v++ {
-		out[v] = f(graph.VertexID(v))
+	if err := forChunks(env.Parts, n, func(_, lo, hi int) error {
+		for v := lo; v < hi; v++ {
+			if (v-lo)%platform.CheckStride == 0 && ctx.Err() != nil {
+				return platform.CheckContextPhase(ctx, "dataflow/map")
+			}
+			out[v] = f(graph.VertexID(v))
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// forChunks runs body over one contiguous chunk of [0, n) per partition
+// concurrently and returns the lowest-partition error. Bodies do their
+// own amortized context checks when they loop.
+func forChunks(parts, n int, body func(part, lo, hi int) error) error {
+	if parts < 1 {
+		parts = 1
+	}
+	chunk := (n + parts - 1) / parts
+	if chunk < 1 {
+		chunk = 1
+	}
+	errs := make([]error, parts)
+	var wg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		lo, hi := p*chunk, (p+1)*chunk
+		if lo >= n {
+			break
+		}
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(p, lo, hi int) {
+			defer wg.Done()
+			errs[p] = body(p, lo, hi)
+		}(p, lo, hi)
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+// firstError returns the lowest-indexed non-nil error from a per-worker
+// error slice (deterministic pick under concurrent interruption).
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // CanonicalArc reports whether (u, v) is the canonical arc of its

@@ -11,6 +11,7 @@ import (
 	"context"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"graphalytics/internal/algo"
 	"graphalytics/internal/graph"
@@ -28,7 +29,7 @@ func (l *loaded) runPageRank(ctx context.Context, env *Env, p algo.Params) (algo
 	n := l.g.NumVertices()
 	d := p.PRDamping
 	inv := 1.0 / float64(n)
-	ranks, err := MapVertices(env, n, 8, func(graph.VertexID) float64 { return inv })
+	ranks, err := MapVertices(ctx, env, n, 8, func(graph.VertexID) float64 { return inv })
 	if err != nil {
 		return nil, err
 	}
@@ -39,11 +40,14 @@ func (l *loaded) runPageRank(ctx context.Context, env *Env, p algo.Params) (algo
 		env.Counters.Supersteps++
 		var dangling float64
 		for v := 0; v < n; v++ {
+			if v%platform.CheckStride == 0 && ctx.Err() != nil {
+				return nil, platform.CheckContextPhase(ctx, "dataflow/pr-dangling")
+			}
 			if l.g.OutDegree(graph.VertexID(v)) == 0 {
 				dangling += ranks[v]
 			}
 		}
-		contribs, err := AggregateMessages(env, ranks, 8, 8,
+		contribs, err := AggregateMessages(ctx, env, ranks, 8, 8,
 			func(c *Ctx[float64], u, v graph.VertexID, du, _ float64) {
 				c.SendToDst(v, du/float64(l.g.OutDegree(u)))
 			},
@@ -52,7 +56,7 @@ func (l *loaded) runPageRank(ctx context.Context, env *Env, p algo.Params) (algo
 			return nil, err
 		}
 		base := (1-d)*inv + d*dangling*inv
-		ranks, err = MapVertices(env, n, 8, func(v graph.VertexID) float64 {
+		ranks, err = MapVertices(ctx, env, n, 8, func(v graph.VertexID) float64 {
 			return base + d*contribs[v]
 		})
 		if err != nil {
@@ -70,7 +74,7 @@ func (l *loaded) runPageRank(ctx context.Context, env *Env, p algo.Params) (algo
 func (l *loaded) runSSSP(ctx context.Context, env *Env, p algo.Params) (algo.SSSPOutput, error) {
 	n := l.g.NumVertices()
 	inf := math.Inf(1)
-	dists, err := MapVertices(env, n, 8, func(v graph.VertexID) float64 {
+	dists, err := MapVertices(ctx, env, n, 8, func(v graph.VertexID) float64 {
 		if v == p.Source {
 			return 0
 		}
@@ -89,7 +93,7 @@ func (l *loaded) runSSSP(ctx context.Context, env *Env, p algo.Params) (algo.SSS
 			return nil, err
 		}
 		env.Counters.Supersteps++
-		msgs, err := AggregateMessagesW(env, dists, 8, 8,
+		msgs, err := AggregateMessagesW(ctx, env, dists, 8, 8,
 			func(c *Ctx[float64], u, v graph.VertexID, w float64, du, dv float64) {
 				if active[u] && du+w < dv {
 					c.SendToDst(v, du+w)
@@ -103,11 +107,11 @@ func (l *loaded) runSSSP(ctx context.Context, env *Env, p algo.Params) (algo.SSS
 			break
 		}
 		nextActive := make([]bool, n)
-		improved := false
-		dists, err = JoinVertices(env, dists, 8, msgs, func(v graph.VertexID, d, m float64) float64 {
+		var improved atomic.Bool // join closures run chunked in parallel
+		dists, err = JoinVertices(ctx, env, dists, 8, msgs, func(v graph.VertexID, d, m float64) float64 {
 			if m < d {
 				nextActive[v] = true
-				improved = true
+				improved.Store(true)
 				return m
 			}
 			return d
@@ -116,7 +120,7 @@ func (l *loaded) runSSSP(ctx context.Context, env *Env, p algo.Params) (algo.SSS
 			return nil, err
 		}
 		active = nextActive
-		if !improved {
+		if !improved.Load() {
 			break
 		}
 	}
@@ -132,12 +136,12 @@ func (l *loaded) runSSSP(ctx context.Context, env *Env, p algo.Params) (algo.SSS
 func (l *loaded) runLCC(ctx context.Context, env *Env, p algo.Params) (algo.LCCOutput, error) {
 	n := l.g.NumVertices()
 	// Round 1: collect neighbor IDs (both directions), dedup + sort.
-	empty, err := MapVertices(env, n, 24, func(graph.VertexID) []graph.VertexID { return nil })
+	empty, err := MapVertices(ctx, env, n, 24, func(graph.VertexID) []graph.VertexID { return nil })
 	if err != nil {
 		return nil, err
 	}
 	env.Counters.Supersteps++
-	collected, err := AggregateMessages(env, empty, 24, 24,
+	collected, err := AggregateMessages(ctx, env, empty, 24, 24,
 		func(c *Ctx[[]graph.VertexID], u, v graph.VertexID, _, _ []graph.VertexID) {
 			c.SendToDst(v, []graph.VertexID{u})
 			c.SendToSrc(u, []graph.VertexID{v})
@@ -146,8 +150,7 @@ func (l *loaded) runLCC(ctx context.Context, env *Env, p algo.Params) (algo.LCCO
 	if err != nil {
 		return nil, err
 	}
-	nbhBytes := int64(0)
-	nbh, err := JoinVertices(env, empty, 24, collected, func(v graph.VertexID, _ []graph.VertexID, ids []graph.VertexID) []graph.VertexID {
+	nbh, err := JoinVertices(ctx, env, empty, 24, collected, func(v graph.VertexID, _ []graph.VertexID, ids []graph.VertexID) []graph.VertexID {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		out := ids[:0]
 		var last graph.VertexID
@@ -161,11 +164,16 @@ func (l *loaded) runLCC(ctx context.Context, env *Env, p algo.Params) (algo.LCCO
 			out = append(out, x)
 			last = x
 		}
-		nbhBytes += int64(len(out)) * 4
 		return out
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Summed after the join: the closures run in parallel and cannot
+	// share an accumulator.
+	nbhBytes := int64(0)
+	for _, ids := range nbh {
+		nbhBytes += int64(len(ids)) * 4
 	}
 	if err := env.allocRetained(nbhBytes); err != nil {
 		return nil, err
@@ -173,7 +181,7 @@ func (l *loaded) runLCC(ctx context.Context, env *Env, p algo.Params) (algo.LCCO
 
 	// Round 2: per canonical neighbor pair, exchange closed-pair counts.
 	env.Counters.Supersteps++
-	counts, err := AggregateMessages(env, nbh, 24, 8,
+	counts, err := AggregateMessages(ctx, env, nbh, 24, 8,
 		func(c *Ctx[int64], u, v graph.VertexID, nu, nv []graph.VertexID) {
 			if !CanonicalArc(l.g, u, v) {
 				return

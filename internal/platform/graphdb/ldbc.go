@@ -38,7 +38,7 @@ func (l *loaded) runPageRank(ctx context.Context, p algo.Params) (algo.PROutput,
 	}
 	next := make(algo.PROutput, n)
 	for iter := 0; iter < p.PRIterations; iter++ {
-		if err := platform.CheckContext(ctx); err != nil {
+		if err := platform.CheckContextPhase(ctx, "graphdb/pagerank"); err != nil {
 			return nil, err
 		}
 		var dangling float64
@@ -52,6 +52,11 @@ func (l *loaded) runPageRank(ctx context.Context, p algo.Params) (algo.PROutput,
 			next[v] = base
 		}
 		for v := 0; v < n; v++ {
+			if v%platform.CheckStride == 0 && v > 0 {
+				if err := platform.CheckContextPhase(ctx, "graphdb/pagerank"); err != nil {
+					return nil, err
+				}
+			}
 			if outdeg[v] == 0 {
 				continue
 			}
@@ -81,12 +86,16 @@ func (l *loaded) runSSSP(ctx context.Context, p algo.Params) (algo.SSSPOutput, e
 	}
 	dist[p.Source] = 0
 	pq := &storeDistHeap{{v: p.Source, d: 0}}
+	pops := 0
 	for pq.Len() > 0 {
-		if pq.Len()%1024 == 0 {
-			if err := platform.CheckContext(ctx); err != nil {
+		// Counter-based amortization: the old pq.Len()%1024 probe could
+		// starve when the heap size oscillated across the boundary.
+		if pops%1024 == 0 {
+			if err := platform.CheckContextPhase(ctx, "graphdb/sssp"); err != nil {
 				return nil, err
 			}
 		}
+		pops++
 		it := heap.Pop(pq).(storeDistItem)
 		if it.d > dist[it.v] {
 			continue // stale entry
@@ -111,8 +120,8 @@ func (l *loaded) runLCC(ctx context.Context) (algo.LCCOutput, error) {
 	lcc := make(algo.LCCOutput, n)
 	var nbh, out []graph.VertexID
 	for v := 0; v < n; v++ {
-		if v%4096 == 0 {
-			if err := platform.CheckContext(ctx); err != nil {
+		if v%platform.CheckStride == 0 {
+			if err := platform.CheckContextPhase(ctx, "graphdb/lcc"); err != nil {
 				return nil, err
 			}
 		}

@@ -127,12 +127,16 @@ func (l *loaded) runBFS(ctx context.Context, p algo.Params) (algo.BFSOutput, err
 	}
 	depth[p.Source] = 0
 	frontier := []graph.VertexID{p.Source}
+	expanded := 0
 	for level := int64(1); len(frontier) > 0; level++ {
-		if err := platform.CheckContext(ctx); err != nil {
-			return nil, err
-		}
 		var next []graph.VertexID
 		for _, v := range frontier {
+			if expanded%platform.CheckStride == 0 {
+				if err := platform.CheckContextPhase(ctx, "graphdb/bfs"); err != nil {
+					return nil, err
+				}
+			}
+			expanded++
 			l.store.Expand(v, func(other graph.VertexID, outgoing bool) {
 				if outgoing && depth[other] == -1 {
 					depth[other] = level
@@ -153,18 +157,22 @@ func (l *loaded) runConn(ctx context.Context) (algo.ConnOutput, error) {
 	labels := make(algo.ConnOutput, n)
 	visited := make([]bool, n)
 	var stack []graph.VertexID
+	pops := 0
 	for v := 0; v < n; v++ {
 		if visited[v] {
 			continue
-		}
-		if err := platform.CheckContext(ctx); err != nil {
-			return nil, err
 		}
 		root := graph.VertexID(v)
 		visited[v] = true
 		labels[v] = root
 		stack = append(stack[:0], root)
 		for len(stack) > 0 {
+			if pops%platform.CheckStride == 0 {
+				if err := platform.CheckContextPhase(ctx, "graphdb/conn"); err != nil {
+					return nil, err
+				}
+			}
+			pops++
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			l.store.Expand(u, func(other graph.VertexID, _ bool) {
@@ -196,10 +204,12 @@ func (l *loaded) runCD(ctx context.Context, p algo.Params) (algo.CDOutput, error
 	newScores := make([]float64, n)
 	votes := make([]algo.Vote, 0, 64)
 	for iter := 0; iter < p.CDIterations; iter++ {
-		if err := platform.CheckContext(ctx); err != nil {
-			return nil, err
-		}
 		for v := 0; v < n; v++ {
+			if v%platform.CheckStride == 0 {
+				if err := platform.CheckContextPhase(ctx, "graphdb/cd"); err != nil {
+					return nil, err
+				}
+			}
 			buf = l.store.Neighborhood(graph.VertexID(v), buf[:0])
 			votes = votes[:0]
 			for _, u := range buf {
@@ -233,8 +243,8 @@ func (l *loaded) runStats(ctx context.Context) (algo.StatsOutput, error) {
 	var sum float64
 	var nbh, out []graph.VertexID
 	for v := 0; v < n; v++ {
-		if v%4096 == 0 {
-			if err := platform.CheckContext(ctx); err != nil {
+		if v%platform.CheckStride == 0 {
+			if err := platform.CheckContextPhase(ctx, "graphdb/stats"); err != nil {
 				return algo.StatsOutput{}, err
 			}
 		}
@@ -261,14 +271,14 @@ func (l *loaded) runEvo(ctx context.Context, p algo.Params) (algo.EvoOutput, err
 
 	var outN, inN []graph.VertexID
 	for f := 0; f < k; f++ {
-		if err := platform.CheckContext(ctx); err != nil {
-			return algo.EvoOutput{}, err
-		}
 		newV := graph.VertexID(n + f)
 		a := graph.VertexID(xrand.Mix3(p.Seed, uint64(newV), 0) % uint64(n))
 		burned := map[graph.VertexID]bool{a: true}
 		level := []graph.VertexID{a}
 		for len(level) > 0 && len(burned) < p.EvoMaxBurn {
+			if err := platform.CheckContextPhase(ctx, "graphdb/evo"); err != nil {
+				return algo.EvoOutput{}, err
+			}
 			var next []graph.VertexID
 			inNext := map[graph.VertexID]bool{}
 			for _, u := range level {

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"graphalytics/internal/platform"
+	"graphalytics/internal/telemetry"
 )
 
 // Record is one key/value pair. Values are opaque bytes: jobs encode and
@@ -83,7 +84,7 @@ type Cluster struct {
 
 // Run executes one job over input.
 func (c *Cluster) Run(ctx context.Context, input []Record, job Job) (*JobResult, error) {
-	if err := platform.CheckContext(ctx); err != nil {
+	if err := platform.CheckContextPhase(ctx, "mapreduce/submit"); err != nil {
 		return nil, err
 	}
 	workers := c.Workers
@@ -97,12 +98,18 @@ func (c *Cluster) Run(ctx context.Context, input []Record, job Job) (*JobResult,
 		time.Sleep(c.RoundOverhead)
 	}
 	c.Counters.Supersteps++ // jobs
+	sp := telemetry.StartSpan("mapreduce", "job:"+job.Name)
+	sp.SetAttr("workers", workers)
+	sp.SetAttr("records_in", len(input))
+	defer sp.End()
 
 	tc := &TaskCtx{counters: map[string]int64{}}
+	errs := make([]error, workers)
 
 	// ------------------------- map phase -------------------------
 	// Each mapper serializes its emissions into per-reducer spill
-	// buffers (the in-memory stand-in for map output files).
+	// buffers (the in-memory stand-in for map output files), probing
+	// the context every CheckStride input records.
 	spills := make([][][]byte, workers) // [mapper][reducer] -> buffer
 	splits := splitRecords(input, workers)
 	var wg sync.WaitGroup
@@ -119,14 +126,19 @@ func (c *Cluster) Run(ctx context.Context, input []Record, job Job) (*JobResult,
 				}
 				spills[m][r] = appendRecord(spills[m][r], key, value)
 			}
-			for _, rec := range splits[m] {
+			for ri, rec := range splits[m] {
+				if ri%platform.CheckStride == 0 && ctx.Err() != nil {
+					errs[m] = platform.CheckContextPhase(ctx, "mapreduce/map")
+					break
+				}
 				job.Map(tc, rec, emit)
 			}
 			busyAdd(c.Counters, m, workers, time.Since(start))
 		}(m)
 	}
 	wg.Wait()
-	if err := platform.CheckContext(ctx); err != nil {
+	if err := firstError(errs); err != nil {
+		sp.SetAttr("error", err.Error())
 		return nil, err
 	}
 
@@ -153,6 +165,10 @@ func (c *Cluster) Run(ctx context.Context, input []Record, job Job) (*JobResult,
 					localNet += int64(len(buf))
 				}
 				for len(buf) > 0 {
+					if count%int64(platform.CheckStride) == 0 && ctx.Err() != nil {
+						errs[r] = platform.CheckContextPhase(ctx, "mapreduce/shuffle")
+						return
+					}
 					var rec Record
 					rec, buf = readRecord(buf)
 					recs = append(recs, rec)
@@ -166,7 +182,13 @@ func (c *Cluster) Run(ctx context.Context, input []Record, job Job) (*JobResult,
 			emit := func(key int64, value []byte) {
 				out = appendRecord(out, key, value)
 			}
+			groups := 0
 			for i := 0; i < len(recs); {
+				if groups%platform.CheckStride == 0 && ctx.Err() != nil {
+					errs[r] = platform.CheckContextPhase(ctx, "mapreduce/reduce")
+					return
+				}
+				groups++
 				j := i
 				for j < len(recs) && recs[j].Key == recs[i].Key {
 					j++
@@ -188,7 +210,8 @@ func (c *Cluster) Run(ctx context.Context, input []Record, job Job) (*JobResult,
 		}(r)
 	}
 	wg.Wait()
-	if err := platform.CheckContext(ctx); err != nil {
+	if err := firstError(errs); err != nil {
+		sp.SetAttr("error", err.Error())
 		return nil, err
 	}
 	c.Counters.Messages += shuffled
@@ -196,18 +219,54 @@ func (c *Cluster) Run(ctx context.Context, input []Record, job Job) (*JobResult,
 	c.Counters.SpilledBytes += spilled
 	c.Counters.NetworkBytes += network
 
-	// Deserialize job output (HDFS read of the next job).
-	var output []Record
+	// Deserialize job output (HDFS read of the next job), one decoder
+	// per reducer output in parallel, concatenated in reducer order.
+	decoded := make([][]Record, workers)
 	for r := 0; r < workers; r++ {
-		buf := outs[r].buf
-		for len(buf) > 0 {
-			var rec Record
-			rec, buf = readRecord(buf)
-			output = append(output, rec)
-		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			buf := outs[r].buf
+			var recs []Record
+			for len(buf) > 0 {
+				if len(recs)%platform.CheckStride == 0 && ctx.Err() != nil {
+					errs[r] = platform.CheckContextPhase(ctx, "mapreduce/output")
+					return
+				}
+				var rec Record
+				rec, buf = readRecord(buf)
+				recs = append(recs, rec)
+			}
+			decoded[r] = recs
+		}(r)
+	}
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		sp.SetAttr("error", err.Error())
+		return nil, err
+	}
+	total := 0
+	for _, recs := range decoded {
+		total += len(recs)
+	}
+	output := make([]Record, 0, total)
+	for _, recs := range decoded {
+		output = append(output, recs...)
 	}
 	sortRecords(output) // deterministic chaining independent of workers
+	sp.SetAttr("records_out", len(output))
 	return &JobResult{Output: output, Counters: tc.counters}, nil
+}
+
+// firstError returns the lowest-indexed non-nil error from a per-worker
+// error slice (deterministic pick under concurrent interruption).
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 var busyMu sync.Mutex

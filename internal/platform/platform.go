@@ -143,6 +143,12 @@ var (
 	ErrOutOfMemory = errors.New("platform: out of memory")
 	// ErrUnsupported reports that the platform cannot run the algorithm.
 	ErrUnsupported = errors.New("platform: unsupported algorithm")
+	// ErrInterrupted marks a kernel stopped mid-phase by context
+	// cancellation or deadline. It always wraps the context's own error,
+	// so errors.Is against context.Canceled / context.DeadlineExceeded
+	// keeps working through it; the harness uses the sentinel to tell
+	// "the campaign stopped this cell" apart from "this cell failed".
+	ErrInterrupted = errors.New("platform: interrupted")
 )
 
 // OOMError wraps ErrOutOfMemory with budget context.
@@ -207,11 +213,28 @@ func (t *MemoryTracker) Current() int64 { return t.current.Load() }
 // Budget returns the configured budget (0 = unlimited).
 func (t *MemoryTracker) Budget() int64 { return t.budget }
 
-// CheckContext returns ctx.Err() wrapped for uniform reporting; engines
-// call it between supersteps/rounds.
+// CheckStride is the amortization interval for in-loop context checks:
+// kernel hot loops probe the context once every CheckStride work units
+// (vertices computed, records decoded, frontier pops) so the probe cost
+// stays negligible while cancellation latency stays bounded by one
+// stride of work.
+const CheckStride = 4096
+
+// CheckContext returns ctx.Err() wrapped in ErrInterrupted for uniform
+// reporting; engines call it between supersteps/rounds.
 func CheckContext(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
-		return fmt.Errorf("platform: cancelled: %w", err)
+		return fmt.Errorf("%w: %w", ErrInterrupted, err)
+	}
+	return nil
+}
+
+// CheckContextPhase is CheckContext with the interrupted kernel phase
+// recorded in the error ("pregel/compute", "mapreduce/map", ...), so a
+// cancelled cell reports where inside the engine it stopped.
+func CheckContextPhase(ctx context.Context, phase string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w in %s: %w", ErrInterrupted, phase, err)
 	}
 	return nil
 }

@@ -1,0 +1,111 @@
+package platformtest
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"graphalytics/internal/algo"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/platform"
+	"graphalytics/internal/platform/dataflow"
+	"graphalytics/internal/platform/graphdb"
+	"graphalytics/internal/platform/mapreduce"
+	"graphalytics/internal/platform/pregel"
+)
+
+// cancelPlatforms builds the four default engines (no scheduling
+// overhead on mapreduce so the test measures kernel responsiveness, not
+// sleeps).
+func cancelPlatforms() []platform.Platform {
+	return []platform.Platform{
+		pregel.New(pregel.Options{}),
+		mapreduce.New(mapreduce.Options{RoundOverhead: -1, MaxJobs: 1 << 30}),
+		dataflow.New(dataflow.Options{}),
+		graphdb.New(graphdb.Options{}),
+	}
+}
+
+// cancelGraph is big enough that a PR cell with an absurd iteration
+// count cannot finish before the cancel fires.
+func cancelGraph(tb testing.TB) *graph.Graph {
+	tb.Helper()
+	r := rand.New(rand.NewSource(13))
+	b := graph.NewBuilder(graph.Directed(false), graph.Dedup(), graph.DropSelfLoops(), graph.WithReverse(), graph.WithName("cancel"))
+	const n = 2000
+	b.SetNumVertices(n)
+	for i := 0; i < 20000; i++ {
+		b.AddEdgeIDWeighted(graph.VertexID(r.Intn(n)), graph.VertexID(r.Intn(n)), 0.25+r.Float64())
+	}
+	g, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+// TestCancelMidRunAllPlatforms is the regression test for ctx-deaf hot
+// loops: a PR cell that would run effectively forever must return a
+// context.Canceled error promptly after a mid-run cancellation — on
+// every platform, from inside whatever loop it is in when the cancel
+// lands.
+func TestCancelMidRunAllPlatforms(t *testing.T) {
+	g := cancelGraph(t)
+	params := algo.Params{Source: 0, Seed: 1, PRIterations: 1 << 30}
+	for _, p := range cancelPlatforms() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			t.Parallel()
+			loaded, err := p.LoadGraph(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer loaded.Close()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			done := make(chan error, 1)
+			go func() {
+				_, err := loaded.Run(ctx, algo.PR, params)
+				done <- err
+			}()
+			time.Sleep(25 * time.Millisecond)
+			cancel()
+			select {
+			case err := <-done:
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("err = %v, want context.Canceled", err)
+				}
+				if !errors.Is(err, platform.ErrInterrupted) {
+					t.Errorf("err = %v, want it to wrap platform.ErrInterrupted", err)
+				}
+			case <-time.After(15 * time.Second):
+				t.Fatal("Run did not return promptly after mid-run cancel")
+			}
+		})
+	}
+}
+
+// TestPreCancelledContextAllPlatforms pins the cheap end of the same
+// contract: a dead context stops a cell before (or immediately after)
+// it starts, on every platform and on both an iteration-bounded (PR)
+// and a traversal (SSSP) workload.
+func TestPreCancelledContextAllPlatforms(t *testing.T) {
+	g := cancelGraph(t)
+	params := algo.Params{Source: 0, Seed: 1}.WithDefaults(g.NumVertices())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, p := range cancelPlatforms() {
+		loaded, err := p.LoadGraph(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range []algo.Kind{algo.PR, algo.SSSP} {
+			if _, err := loaded.Run(ctx, kind, params); !errors.Is(err, context.Canceled) {
+				t.Errorf("%s/%s: err = %v, want context.Canceled", p.Name(), kind, err)
+			}
+		}
+		loaded.Close()
+	}
+}

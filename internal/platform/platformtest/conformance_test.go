@@ -34,6 +34,31 @@ func TestRegistryConformanceMatrix(t *testing.T) {
 	}
 }
 
+// TestWorkersSweepAcrossEngines sweeps the worker knob of every
+// parallel engine (pregel BSP workers, mapreduce slots, dataflow
+// partitions) and checks the parallel outputs against the
+// single-worker run under each workload's validation policy. graphdb
+// is absent by design: the record store is single-threaded.
+func TestWorkersSweepAcrossEngines(t *testing.T) {
+	cases := []struct {
+		name    string
+		factory func(workers int) platform.Platform
+	}{
+		{"pregel", func(w int) platform.Platform { return pregel.New(pregel.Options{Workers: w}) }},
+		{"mapreduce", func(w int) platform.Platform {
+			return mapreduce.New(mapreduce.Options{Workers: w, RoundOverhead: -1})
+		}},
+		{"dataflow", func(w int) platform.Platform { return dataflow.New(dataflow.Options{Parts: w}) }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			WorkersSweep(t, c.factory)
+		})
+	}
+}
+
 // TestWeightedGraphReachesPlatforms asserts the conformance matrix
 // actually exercises a weighted graph — the guard that keeps the SSSP
 // runs from silently degrading to unit weights everywhere.

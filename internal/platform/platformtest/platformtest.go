@@ -11,6 +11,7 @@ package platformtest
 import (
 	"context"
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
@@ -95,6 +96,63 @@ func Conformance(t *testing.T, p platform.Platform) {
 						t.Fatalf("%s output rejected (%s policy): %s", spec.Kind, spec.Policy, v.Detail)
 					}
 				})
+			}
+		})
+	}
+}
+
+// WorkersSweep runs every registered workload at worker counts 1, 2
+// and 8 and asserts each parallel run matches the workers=1 run under
+// the workload's validation policy: every output must pass the spec's
+// validator, and exact-policy outputs must additionally be
+// bit-identical to the single-worker run. factory builds the platform
+// at a given worker count (whatever the engine calls it — BSP workers,
+// map/reduce slots, dataset partitions).
+func WorkersSweep(t *testing.T, factory func(workers int) platform.Platform) {
+	t.Helper()
+	counts := []int{1, 2, 8}
+	gs := Graphs(t)
+	sweep := []*graph.Graph{gs[0], gs[3]} // rand-directed + rand-weighted
+	specs := workload.All()
+	for _, g := range sweep {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			params := algo.Params{Source: 0, Seed: 99, EvoNewVertices: 6}.WithDefaults(g.NumVertices())
+			outputs := make(map[int]map[algo.Kind]any, len(counts))
+			for _, w := range counts {
+				loaded, err := factory(w).LoadGraph(g)
+				if err != nil {
+					t.Fatalf("workers=%d LoadGraph: %v", w, err)
+				}
+				outputs[w] = map[algo.Kind]any{}
+				for _, spec := range specs {
+					if err := spec.Supports(g); err != nil {
+						continue
+					}
+					res, err := loaded.Run(context.Background(), spec.Kind, params)
+					if err != nil {
+						t.Fatalf("workers=%d %s: %v", w, spec.Kind, err)
+					}
+					if v := spec.Validate(g, params, res.Output); !v.Valid {
+						t.Fatalf("workers=%d %s rejected (%s policy): %s", w, spec.Kind, spec.Policy, v.Detail)
+					}
+					outputs[w][spec.Kind] = res.Output
+				}
+				loaded.Close()
+			}
+			for _, spec := range specs {
+				if spec.Policy != workload.PolicyExact {
+					continue
+				}
+				base, ok := outputs[counts[0]][spec.Kind]
+				if !ok {
+					continue
+				}
+				for _, w := range counts[1:] {
+					if !reflect.DeepEqual(outputs[w][spec.Kind], base) {
+						t.Errorf("%s: workers=%d output differs from workers=1 under the exact policy", spec.Kind, w)
+					}
+				}
 			}
 		})
 	}

@@ -276,7 +276,7 @@ func (e *Engine[M]) Run(ctx context.Context, compute ComputeFunc[M], master Mast
 	}
 
 	for e.step = 0; e.step < e.MaxSupersteps; e.step++ {
-		if err := platform.CheckContext(ctx); err != nil {
+		if err := platform.CheckContextPhase(ctx, "pregel/superstep"); err != nil {
 			return err
 		}
 		active := e.countActive()
@@ -288,9 +288,12 @@ func (e *Engine[M]) Run(ctx context.Context, compute ComputeFunc[M], master Mast
 		ssp := telemetry.StartSpan("pregel", "superstep")
 		ssp.SetAttr("step", e.step)
 		ssp.SetAttr("active", active)
+		ssp.SetAttr("workers", e.Workers)
 
-		// Compute phase.
+		// Compute phase. Each worker probes the context every CheckStride
+		// vertices so even one huge superstep stays interruptible.
 		var wg sync.WaitGroup
+		werr := make([]error, e.Workers)
 		for w := 0; w < e.Workers; w++ {
 			c := ctxs[w]
 			c.outbox = make([][]targeted[M], e.Workers)
@@ -300,7 +303,11 @@ func (e *Engine[M]) Run(ctx context.Context, compute ComputeFunc[M], master Mast
 			go func(w int, c *VCtx[M]) {
 				defer wg.Done()
 				start := time.Now()
-				for _, v := range e.byPart[w] {
+				for i, v := range e.byPart[w] {
+					if i%platform.CheckStride == 0 && ctx.Err() != nil {
+						werr[w] = platform.CheckContextPhase(ctx, "pregel/compute")
+						break
+					}
 					msgs := e.inbox[v]
 					if e.halted[v] && len(msgs) == 0 {
 						continue
@@ -312,6 +319,11 @@ func (e *Engine[M]) Run(ctx context.Context, compute ComputeFunc[M], master Mast
 			}(w, c)
 		}
 		wg.Wait()
+		if err := firstError(werr); err != nil {
+			ssp.SetAttr("error", err.Error())
+			ssp.End()
+			return err
+		}
 
 		// Apply halt votes and clear consumed inboxes.
 		for _, c := range ctxs {
@@ -359,6 +371,7 @@ func (e *Engine[M]) Run(ctx context.Context, compute ComputeFunc[M], master Mast
 			}
 		}
 		var dwg sync.WaitGroup
+		derr := make([]error, e.Workers)
 		for dw := 0; dw < e.Workers; dw++ {
 			dwg.Add(1)
 			go func(dw int) {
@@ -372,20 +385,33 @@ func (e *Engine[M]) Run(ctx context.Context, compute ComputeFunc[M], master Mast
 						}
 						sort.Slice(buf.touched, func(i, j int) bool { return buf.touched[i] < buf.touched[j] })
 						verts := e.byPart[dw]
-						for _, li := range buf.touched {
+						for i, li := range buf.touched {
+							if i%platform.CheckStride == 0 && ctx.Err() != nil {
+								derr[dw] = platform.CheckContextPhase(ctx, "pregel/deliver")
+								return
+							}
 							v := verts[li]
 							e.next[v] = append(e.next[v], buf.vals[li])
 						}
 						buf.reset()
 						continue
 					}
-					for _, t := range c.outbox[dw] {
+					for i, t := range c.outbox[dw] {
+						if i%platform.CheckStride == 0 && ctx.Err() != nil {
+							derr[dw] = platform.CheckContextPhase(ctx, "pregel/deliver")
+							return
+						}
 						e.next[t.dst] = append(e.next[t.dst], t.msg)
 					}
 				}
 			}(dw)
 		}
 		dwg.Wait()
+		if err := firstError(derr); err != nil {
+			ssp.SetAttr("error", err.Error())
+			ssp.End()
+			return err
+		}
 		e.inbox, e.next = e.next, e.inbox
 		ssp.SetAttr("messages", totalSent)
 		ssp.End()
@@ -407,6 +433,17 @@ func (e *Engine[M]) Run(ctx context.Context, compute ComputeFunc[M], master Mast
 }
 
 func (e *Engine[M]) workerOf(v graph.VertexID) int { return int(e.partOf[v]) }
+
+// firstError returns the lowest-indexed non-nil error from a per-worker
+// error slice (deterministic pick under concurrent interruption).
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 func (e *Engine[M]) countActive() int64 {
 	var active int64

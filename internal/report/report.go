@@ -37,6 +37,10 @@ const (
 	StatusError     Status = "error"
 	StatusInvalid   Status = "invalid"
 	StatusLoadError Status = "load-failed"
+	// StatusCancelled marks a cell interrupted by campaign cancellation
+	// (operator abort), not a platform failure: it never consumes retry
+	// budget and does not count against the platform.
+	StatusCancelled Status = "cancelled"
 )
 
 // RunResult is the outcome of one (platform, graph, algorithm) cell.
@@ -413,7 +417,7 @@ func (rep *Report) Summary() string {
 		counts[r.Status]++
 	}
 	parts := make([]string, 0, len(counts))
-	for _, s := range []Status{StatusSuccess, StatusOOM, StatusTimeout, StatusError, StatusInvalid, StatusLoadError} {
+	for _, s := range []Status{StatusSuccess, StatusOOM, StatusTimeout, StatusError, StatusInvalid, StatusLoadError, StatusCancelled} {
 		if counts[s] > 0 {
 			parts = append(parts, fmt.Sprintf("%d %s", counts[s], s))
 		}
