@@ -25,6 +25,7 @@ import (
 
 	"graphalytics"
 	"graphalytics/internal/algo"
+	"graphalytics/internal/artifact"
 	"graphalytics/internal/codequality"
 	"graphalytics/internal/columnstore"
 	"graphalytics/internal/core"
@@ -39,6 +40,7 @@ import (
 	"graphalytics/internal/platform/mapreduce"
 	"graphalytics/internal/platform/pregel"
 	"graphalytics/internal/report"
+	"graphalytics/internal/stamp"
 	"graphalytics/internal/stats"
 	"graphalytics/internal/workload"
 )
@@ -976,6 +978,127 @@ func BenchmarkSSSPHotLoop(b *testing.B) {
 				traversed = algo.SSSPTraversedEdges(g, dist)
 			}
 			b.ReportMetric(float64(traversed)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Medges/s")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Incremental campaign engine: fingerprinting and cache cost (PR 9).
+// Fingerprinting must be cheap enough to be free next to any kernel;
+// the hit/miss benchmarks bound the per-cell overhead a warm and a cold
+// cache add to a campaign.
+
+func BenchmarkStampFingerprint(b *testing.B) {
+	g, err := datagen.Generate(datagen.Config{Persons: 2000, Seed: 1, Name: "stamp-bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cell", func(b *testing.B) {
+		in := stamp.CellInputs{
+			Graph:          stamp.Dataset("social", "persons=2000,seed=1"),
+			Workload:       "bfs/policy=exact/validate=true",
+			Params:         `{"Source":0,"Seed":9}`,
+			Platform:       "pregel",
+			PlatformConfig: "pregel/workers=4,mem=0,combiners=true,partitioner=hash",
+			Binary:         "v1",
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = stamp.Cell(in)
+		}
+	})
+	b.Run("graph-content", func(b *testing.B) {
+		b.SetBytes(g.NumEdges() * 8)
+		for i := 0; i < b.N; i++ {
+			if _, err := stamp.OfGraph(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkStampStore(b *testing.B) {
+	type cell struct {
+		Runtime time.Duration `json:"runtime"`
+		Status  string        `json:"status"`
+	}
+	b.Run("hit", func(b *testing.B) {
+		s, err := stamp.OpenStore(filepath.Join(b.TempDir(), "stamps.jsonl"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		fp := stamp.Dataset("bench", "hit")
+		if err := s.Put(fp, cell{Runtime: time.Second, Status: "success"}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var c cell
+			if ok, err := s.Get(fp, &c); !ok || err != nil {
+				b.Fatal(ok, err)
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		s, err := stamp.OpenStore(filepath.Join(b.TempDir(), "stamps.jsonl"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		fp := stamp.Dataset("bench", "miss")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var c cell
+			if ok, _ := s.Get(fp, &c); ok {
+				b.Fatal("phantom hit")
+			}
+		}
+	})
+}
+
+func BenchmarkArtifactGraphCache(b *testing.B) {
+	g, err := datagen.Generate(datagen.Config{Persons: 2000, Seed: 1, Name: "artifact-bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fp := stamp.Dataset("bench", "graph")
+	b.Run("store", func(b *testing.B) {
+		cache, err := artifact.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(g.NumEdges() * 8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cache.StoreGraph(fp, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, verify := range []bool{false, true} {
+		name := "load"
+		if verify {
+			name = "load-verify"
+		}
+		b.Run(name, func(b *testing.B) {
+			cache, err := artifact.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			cache.Verify = verify
+			if err := cache.StoreGraph(fp, g); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(g.NumEdges() * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, hit, err := cache.LoadGraph(fp, 0); !hit || err != nil {
+					b.Fatal(hit, err)
+				}
+			}
 		})
 	}
 }

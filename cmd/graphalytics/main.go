@@ -50,13 +50,18 @@ import (
 
 	"graphalytics"
 	"graphalytics/internal/algo"
+	"graphalytics/internal/artifact"
 	"graphalytics/internal/config"
 	"graphalytics/internal/core"
+	"graphalytics/internal/gen/datagen"
+	"graphalytics/internal/gen/rmat"
+	"graphalytics/internal/gen/surrogate"
 	"graphalytics/internal/graph"
 	"graphalytics/internal/platform"
 	"graphalytics/internal/report"
 	"graphalytics/internal/resultsdb"
 	"graphalytics/internal/sched"
+	"graphalytics/internal/stamp"
 	"graphalytics/internal/telemetry"
 	"graphalytics/internal/workload"
 )
@@ -85,6 +90,9 @@ func run() error {
 		warmup     = flag.Int("warmup", 0, "untimed warm-up executions per cell")
 		retries    = flag.Int("retries", 0, "extra attempts for transiently failed cells")
 		resume     = flag.String("resume", "", "checkpoint file: journal finished cells and skip them on re-run")
+		cacheDir   = flag.String("cache-dir", "", "incremental campaign cache directory: generated graphs and platform ETL outputs are stored under their content fingerprint, and unchanged matrix cells restore from the stamped result store without executing (empty = caching off)")
+		noCache    = flag.Bool("no-cache", false, "ignore -cache-dir and the benchmark.cache.dir property: run everything live")
+		cacheVer   = flag.Bool("cache-verify", false, "verify cached artifacts on read (recompute content checksums); corrupted artifacts are regenerated")
 		seed       = flag.Uint64("seed", 42, "generator / algorithm seed")
 		submitURL  = flag.String("submit", "", "results-database base URL to submit the report to (e.g. http://localhost:8080)")
 		submitter  = flag.String("submitter", "anonymous", "submitter name for -submit")
@@ -190,6 +198,33 @@ func run() error {
 	}
 	dir := pick(*outDir, "benchmark.output.dir", "graphalytics-report")
 
+	// The incremental campaign cache: one directory holding generated
+	// graphs, platform ETL blobs, and the stamped result store. -no-cache
+	// wins over both the flag and the property.
+	cachePath := pick(*cacheDir, "benchmark.cache.dir", "")
+	if v, err := props.Bool("benchmark.cache.verify", *cacheVer); err == nil {
+		*cacheVer = v
+	}
+	if *noCache {
+		cachePath = ""
+	}
+	var cache *artifact.Cache
+	var stamps *stamp.Store
+	if cachePath != "" {
+		c, err := artifact.Open(cachePath)
+		if err != nil {
+			return err
+		}
+		c.Verify = *cacheVer
+		cache = c
+		s, err := stamp.OpenStore(cache.StampStorePath())
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		stamps = s
+	}
+
 	plats, err := buildPlatforms(platformNames, props, *platWork)
 	if err != nil {
 		return err
@@ -198,7 +233,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	graphs, ingests, err := buildGraphs(graphSpecs, *seed, *weighted, *loadWork)
+	graphs, ingests, graphStamps, err := buildGraphs(graphSpecs, *seed, *weighted, *loadWork, cache)
 	if err != nil {
 		return err
 	}
@@ -218,6 +253,9 @@ func run() error {
 		CheckpointPath:  *resume,
 		Ingests:         ingests,
 		Tracker:         tracker,
+		Stamps:          stamps,
+		GraphStamps:     graphStamps,
+		Artifacts:       cache,
 		Progress: func(r report.RunResult) {
 			extra := ""
 			if r.Reps != nil {
@@ -248,6 +286,18 @@ func run() error {
 		return err
 	}
 	fmt.Println(rep.Summary())
+	var executed, uptodate, resumed int
+	for _, r := range rep.Results {
+		switch r.Provenance {
+		case report.ProvenanceUptodate:
+			uptodate++
+		case report.ProvenanceResumed:
+			resumed++
+		default:
+			executed++
+		}
+	}
+	fmt.Printf("cells: %d executed, %d uptodate, %d resumed\n", executed, uptodate, resumed)
 	if err := writeReport(dir, rep); err != nil {
 		return err
 	}
@@ -462,18 +512,32 @@ func parseAlgorithms(names []string) ([]algo.Kind, error) {
 // every dataset next to its processing times. loadWorkers threads the
 // -load-workers parallelism into the file loader and the generators
 // (0 = all cores, 1 = the sequential paths).
-func buildGraphs(specs []string, seed uint64, weighted bool, loadWorkers int) ([]*graph.Graph, []report.IngestStat, error) {
+//
+// Generated specs (social, rmat, surrogates) carry a dataset fingerprint
+// over their generator identity; with a cache configured, the generated
+// graph is stored under that fingerprint and later builds restore it
+// instead of regenerating (ingest Source then reads "cache:<spec>"). The
+// returned map feeds core.Benchmark.GraphStamps so matrix cells share
+// the same dataset identity. File graphs have no generator identity and
+// fall back to content hashing inside core.
+func buildGraphs(specs []string, seed uint64, weighted bool, loadWorkers int, cache *artifact.Cache) ([]*graph.Graph, []report.IngestStat, map[string]stamp.Fingerprint, error) {
 	var out []*graph.Graph
 	var ingests []report.IngestStat
+	graphStamps := make(map[string]stamp.Fingerprint)
 	for _, spec := range specs {
 		kind, arg, _ := strings.Cut(spec, ":")
 		var build func() (*graph.Graph, error)
+		var fp stamp.Fingerprint
 		switch kind {
 		case "social":
 			n, err := strconv.Atoi(arg)
 			if err != nil {
-				return nil, nil, fmt.Errorf("graph spec %q: %w", spec, err)
+				return nil, nil, nil, fmt.Errorf("graph spec %q: %w", spec, err)
 			}
+			name := fmt.Sprintf("social-%d", n)
+			fp = stamp.Dataset("social", datagen.Config{
+				Persons: n, Seed: seed, Weighted: weighted, Name: name,
+			}.Stamp())
 			build = func() (*graph.Graph, error) {
 				g, err := graphalytics.GenerateSocialNetworkConfig(graphalytics.DatagenConfig{
 					Persons: n, Seed: seed, Weighted: weighted, Workers: loadWorkers,
@@ -481,14 +545,17 @@ func buildGraphs(specs []string, seed uint64, weighted bool, loadWorkers int) ([
 				if err != nil {
 					return nil, err
 				}
-				g.SetName(fmt.Sprintf("social-%d", n))
+				g.SetName(name)
 				return g, nil
 			}
 		case "rmat":
 			scale, err := strconv.Atoi(arg)
 			if err != nil {
-				return nil, nil, fmt.Errorf("graph spec %q: %w", spec, err)
+				return nil, nil, nil, fmt.Errorf("graph spec %q: %w", spec, err)
 			}
+			fp = stamp.Dataset("rmat", rmat.Config{
+				Scale: scale, Seed: seed, Weighted: weighted,
+			}.Stamp())
 			build = func() (*graph.Graph, error) {
 				return graphalytics.GenerateRMATConfig(graphalytics.RMATConfig{
 					Scale: scale, Seed: seed, Weighted: weighted, Workers: loadWorkers,
@@ -503,22 +570,55 @@ func buildGraphs(specs []string, seed uint64, weighted bool, loadWorkers int) ([
 			if arg != "" {
 				d, err := strconv.Atoi(arg)
 				if err != nil {
-					return nil, nil, fmt.Errorf("graph spec %q: %w", spec, err)
+					return nil, nil, nil, fmt.Errorf("graph spec %q: %w", spec, err)
 				}
 				div = d
 			}
+			sspec, err := surrogate.Find(kind)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			fp = stamp.Dataset("surrogate", surrogate.Stamp(sspec, surrogate.Options{ScaleDiv: div}))
 			build = func() (*graph.Graph, error) { return graphalytics.GenerateSurrogate(kind, div) }
 		default:
-			return nil, nil, fmt.Errorf("unknown graph spec %q", spec)
+			return nil, nil, nil, fmt.Errorf("unknown graph spec %q", spec)
 		}
-		g, stat, err := core.Ingest(spec, loadWorkers, build)
+		cached := false
+		wrapped := func() (*graph.Graph, error) {
+			if cache != nil && !fp.IsZero() {
+				g, hit, cerr := cache.LoadGraph(fp, loadWorkers)
+				if cerr != nil {
+					slog.Warn("corrupt cached graph artifact; regenerating", "spec", spec, "err", cerr)
+				} else if hit {
+					cached = true
+					return g, nil
+				}
+			}
+			g, err := build()
+			if err != nil {
+				return nil, err
+			}
+			if cache != nil && !fp.IsZero() {
+				if serr := cache.StoreGraph(fp, g); serr != nil {
+					slog.Warn("storing graph artifact failed", "spec", spec, "err", serr)
+				}
+			}
+			return g, nil
+		}
+		g, stat, err := core.Ingest(spec, loadWorkers, wrapped)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
+		}
+		if cached {
+			stat.Source = "cache:" + spec
+		}
+		if !fp.IsZero() {
+			graphStamps[g.Name()] = fp
 		}
 		out = append(out, g)
 		ingests = append(ingests, stat)
 	}
-	return out, ingests, nil
+	return out, ingests, graphStamps, nil
 }
 
 func writeReport(dir string, rep *report.Report) error {

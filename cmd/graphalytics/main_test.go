@@ -14,6 +14,7 @@ import (
 
 	"graphalytics"
 	"graphalytics/internal/algo"
+	"graphalytics/internal/artifact"
 	"graphalytics/internal/config"
 	"graphalytics/internal/core"
 	"graphalytics/internal/platform"
@@ -92,7 +93,7 @@ func TestBuildPlatforms(t *testing.T) {
 }
 
 func TestBuildGraphs(t *testing.T) {
-	graphs, ingests, err := buildGraphs([]string{"social:500", "rmat:9", "amazon:512"}, 1, false, 0)
+	graphs, ingests, _, err := buildGraphs([]string{"social:500", "rmat:9", "amazon:512"}, 1, false, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,14 +122,14 @@ func TestBuildGraphs(t *testing.T) {
 		t.Errorf("ingest source = %q", ingests[1].Source)
 	}
 	for _, bad := range []string{"social:x", "rmat:", "unknown:1", "amazon:x"} {
-		if _, _, err := buildGraphs([]string{bad}, 1, false, 0); err == nil {
+		if _, _, _, err := buildGraphs([]string{bad}, 1, false, 0, nil); err == nil {
 			t.Errorf("spec %q should fail", bad)
 		}
 	}
 }
 
 func TestBuildGraphsWeighted(t *testing.T) {
-	graphs, _, err := buildGraphs([]string{"social:300", "rmat:8"}, 1, true, 0)
+	graphs, _, _, err := buildGraphs([]string{"social:300", "rmat:8"}, 1, true, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestBuildGraphsFromFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	graphs, _, err := buildGraphs([]string{"file:" + path}, 1, false, 0)
+	graphs, _, _, err := buildGraphs([]string{"file:" + path}, 1, false, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestBuildGraphsFromFile(t *testing.T) {
 	if err := os.WriteFile(wpath, []byte("0 1 0.5\n1 2 2.25\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	graphs, _, err = buildGraphs([]string{"file:" + wpath}, 1, false, 0)
+	graphs, _, _, err = buildGraphs([]string{"file:" + wpath}, 1, false, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestWriteReport(t *testing.T) {
 // — i.e. while the scheduler is still resolving jobs — asserting the
 // endpoint serves valid, populated JSON before the campaign finishes.
 func TestStatusEndpointMidCampaign(t *testing.T) {
-	graphs, ingests, err := buildGraphs([]string{"social:300"}, 1, false, 0)
+	graphs, ingests, _, err := buildGraphs([]string{"social:300"}, 1, false, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,5 +380,60 @@ func TestSubmitReport(t *testing.T) {
 	// Rejected submission surfaces the HTTP status.
 	if _, err := submitReport(srv.URL, "", &report.Report{}); err == nil {
 		t.Error("empty report should fail")
+	}
+}
+
+func TestBuildGraphsArtifactCache(t *testing.T) {
+	cache, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Verify = true
+	specs := []string{"social:300", "rmat:8"}
+
+	graphs1, ingests1, stamps1, err := buildGraphs(specs, 1, false, 0, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ing := range ingests1 {
+		if strings.HasPrefix(ing.Source, "cache:") {
+			t.Errorf("cold cache reported a hit: %s", ing.Source)
+		}
+	}
+	for _, g := range graphs1 {
+		if fp, ok := stamps1[g.Name()]; !ok || fp.IsZero() {
+			t.Errorf("%s: no dataset fingerprint", g.Name())
+		}
+	}
+
+	graphs2, ingests2, stamps2, err := buildGraphs(specs, 1, false, 0, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ing := range ingests2 {
+		if !strings.HasPrefix(ing.Source, "cache:") {
+			t.Errorf("warm cache regenerated %s (source %s)", ing.Graph, ing.Source)
+		}
+	}
+	for i := range graphs1 {
+		if graphs1[i].Name() != graphs2[i].Name() ||
+			graphs1[i].NumVertices() != graphs2[i].NumVertices() ||
+			graphs1[i].NumEdges() != graphs2[i].NumEdges() {
+			t.Errorf("cached graph %s differs from generated", graphs1[i].Name())
+		}
+		if stamps1[graphs1[i].Name()] != stamps2[graphs2[i].Name()] {
+			t.Errorf("%s: fingerprint changed across runs", graphs1[i].Name())
+		}
+	}
+
+	// A different seed must miss: the fingerprint names the content.
+	_, ingests3, _, err := buildGraphs(specs, 2, false, 0, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ing := range ingests3 {
+		if strings.HasPrefix(ing.Source, "cache:") {
+			t.Errorf("changed seed hit the cache: %s", ing.Source)
+		}
 	}
 }

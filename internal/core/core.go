@@ -24,17 +24,20 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"graphalytics/internal/algo"
+	"graphalytics/internal/artifact"
 	"graphalytics/internal/graph"
 	"graphalytics/internal/monitor"
 	"graphalytics/internal/platform"
 	"graphalytics/internal/report"
 	"graphalytics/internal/sched"
+	"graphalytics/internal/stamp"
 	"graphalytics/internal/telemetry"
 	"graphalytics/internal/validation"
 	"graphalytics/internal/workload"
@@ -99,6 +102,32 @@ type Benchmark struct {
 	// serve campaign progress (per-job state, per-worker occupation,
 	// ETA) while the matrix runs — the "/status" view.
 	Tracker *sched.Tracker
+
+	// Stamps, when non-nil, enables the incremental campaign engine:
+	// every successful cell is recorded in this stamped result store
+	// under its content fingerprint (dataset identity × workload and
+	// validation policy × platform configuration including the worker
+	// budget × binary version), and a cell whose fingerprint is already
+	// stored is marked UPTODATE — its full report entry (runtimes,
+	// RepStats, kTEPS) restores and no kernel runs. Drivers normally
+	// open the store at artifact.Cache.StampStorePath() so stamps live
+	// next to the cached artifacts.
+	Stamps *stamp.Store
+	// GraphStamps maps graph names to dataset fingerprints supplied by
+	// the driver (generator kind + seed + parameters — cheaper and more
+	// precise than content hashing). Graphs without an entry are
+	// fingerprinted by content (one serialization pass) whenever
+	// stamping, journaling, or artifact caching is active.
+	GraphStamps map[string]stamp.Fingerprint
+	// Artifacts, when non-nil, caches platform ETL outputs under their
+	// fingerprint for platforms implementing platform.CachedLoader, so a
+	// later campaign restores the loaded form instead of re-running the
+	// transformation.
+	Artifacts *artifact.Cache
+	// BinaryVersion overrides stamp.BinaryVersion() as the binary /
+	// kernel version folded into fingerprints. Tests use it to simulate
+	// a rebuilt binary invalidating stamped results.
+	BinaryVersion string
 }
 
 // Ingest runs build, timing it as a dataset's ingest phase — the
@@ -170,6 +199,9 @@ func (b *Benchmark) Run(ctx context.Context) (*report.Report, error) {
 		}
 		defer j.Close()
 		c.journal = j
+	}
+	if err := c.setupStamps(algs); err != nil {
+		return nil, err
 	}
 
 	rep := &report.Report{Started: time.Now()}
@@ -254,6 +286,74 @@ type campaign struct {
 	pgs   []*pgState
 	// progressMu serializes the Progress callback across workers.
 	progressMu sync.Mutex
+
+	// stamping is true when cell fingerprints are computed at all —
+	// whenever a journal, stamped result store, or artifact cache is
+	// configured. Without any of them the campaign pays zero hashing.
+	stamping bool
+	// binary is the resolved binary/kernel version in fingerprints.
+	binary string
+	// graphFPs maps graph names to dataset fingerprints.
+	graphFPs map[string]stamp.Fingerprint
+	// wlStamps maps each algorithm to its workload identity stamp
+	// (kind + validation policy + whether validation runs).
+	wlStamps map[algo.Kind]string
+	// staleWarned gates the once-per-campaign warning about journal
+	// entries whose fingerprints no longer match (buildJobs only, so no
+	// lock needed).
+	staleWarned bool
+}
+
+// setupStamps resolves the fingerprint inputs: the binary version, one
+// dataset fingerprint per graph (driver-supplied generator identity, or
+// content hash as fallback), and one workload stamp per algorithm.
+func (c *campaign) setupStamps(algs []algo.Kind) error {
+	b := c.b
+	c.stamping = c.journal != nil || b.Stamps != nil || b.Artifacts != nil
+	if !c.stamping {
+		return nil
+	}
+	c.binary = b.BinaryVersion
+	if c.binary == "" {
+		c.binary = stamp.BinaryVersion()
+	}
+	c.graphFPs = make(map[string]stamp.Fingerprint, len(b.Graphs))
+	for _, g := range b.Graphs {
+		if fp, ok := b.GraphStamps[g.Name()]; ok && !fp.IsZero() {
+			c.graphFPs[g.Name()] = fp
+			continue
+		}
+		sp := telemetry.StartSpan("stamp", "graph-fingerprint:"+g.Name())
+		fp, err := stamp.OfGraph(g)
+		sp.End()
+		if err != nil {
+			return fmt.Errorf("core: fingerprinting graph %s: %w", g.Name(), err)
+		}
+		c.graphFPs[g.Name()] = fp
+	}
+	c.wlStamps = make(map[algo.Kind]string, len(algs))
+	for _, a := range algs {
+		spec, _ := workload.Lookup(a)
+		c.wlStamps[a] = fmt.Sprintf("%s/policy=%s/validate=%t", a, spec.Policy, b.Validate)
+	}
+	return nil
+}
+
+// cellFP is the content fingerprint of one matrix cell — everything
+// that determines its result. The zero fingerprint means stamping is
+// off.
+func (c *campaign) cellFP(p platform.Platform, g *graph.Graph, a algo.Kind) stamp.Fingerprint {
+	if !c.stamping {
+		return stamp.Fingerprint{}
+	}
+	return stamp.Cell(stamp.CellInputs{
+		Graph:          c.graphFPs[g.Name()],
+		Workload:       c.wlStamps[a],
+		Params:         stamp.JSON(c.b.Params.WithDefaults(g.NumVertices())),
+		Platform:       p.Name(),
+		PlatformConfig: platform.StampConfigOf(p),
+		Binary:         c.binary,
+	})
 }
 
 // pgState is the lifecycle of one (platform, graph) pair: the loaded
@@ -264,6 +364,9 @@ type pgState struct {
 	g        *graph.Graph
 	loaded   platform.Loaded
 	loadTime time.Duration
+	// etlCached marks that loaded came from the ETL artifact cache, so
+	// the pair's cells report ETL-cache provenance.
+	etlCached bool
 	// remaining counts this pair's run jobs still owing a final
 	// outcome; the job that decrements it to zero closes loaded.
 	remaining atomic.Int64
@@ -275,18 +378,24 @@ type pgState struct {
 type pendingCell struct {
 	slot int
 	alg  algo.Kind
+	key  string
+	fp   stamp.Fingerprint
 }
 
-// cellKey is the journal and job identity of one matrix cell; it must
-// be stable across processes for resume to work.
+// cellKey is the base journal and job identity of one matrix cell; it
+// must be stable across processes for resume to work. When stamping is
+// active the journal key is cellKey + "@" + fingerprint.Short(), so a
+// journaled result from a different configuration or binary never
+// matches — it is reported as stale instead of silently resumed.
 func cellKey(p, g string, a algo.Kind) string {
 	return "cell/" + p + "/" + g + "/" + string(a)
 }
 
 // buildJobs turns the matrix into a DAG: per (platform, graph) pair one
-// load job feeding one run job per algorithm. Cells already in the
-// journal restore their result immediately and create no job; a pair
-// whose cells are all journaled skips its load job too.
+// load job feeding one run job per algorithm. Cells restored from the
+// stamped result store (UPTODATE) or the resume journal create no job;
+// a pair whose cells all restored skips its load job too, so a re-run
+// of an unchanged matrix performs zero loads and zero kernel runs.
 func (c *campaign) buildJobs() []sched.Job {
 	b := c.b
 	var jobs []sched.Job
@@ -297,18 +406,31 @@ func (c *campaign) buildJobs() []sched.Job {
 			var runJobs []sched.Job
 			for ai, a := range c.algs {
 				slot := (pi*len(b.Graphs)+gi)*len(c.algs) + ai
-				key := cellKey(p.Name(), g.Name(), a)
-				if c.restoreCell(slot, key) {
+				base := cellKey(p.Name(), g.Name(), a)
+				fp := c.cellFP(p, g, a)
+				key := base
+				if !fp.IsZero() {
+					key = base + "@" + fp.Short()
+				}
+				if c.restoreCell(slot, key, fp) {
 					continue
 				}
-				pg.pendingCells = append(pg.pendingCells, pendingCell{slot: slot, alg: a})
-				a := a
+				if b.Stamps != nil {
+					telemetry.Metrics.Counter("stamp_cell_misses_total",
+						"matrix cells whose fingerprint was not in the stamped result store").Inc()
+				}
+				if c.journal != nil && !fp.IsZero() &&
+					(c.journal.Has(base) || c.journal.HasPrefix(base+"@")) {
+					c.warnStale(key)
+				}
+				pg.pendingCells = append(pg.pendingCells, pendingCell{slot: slot, alg: a, key: key, fp: fp})
+				a, key, fp := a, key, fp
 				runJobs = append(runJobs, sched.Job{
 					ID:    key,
 					Deps:  []string{loadID},
 					Class: p.Name(),
 					Run: func(ctx context.Context, attempt int) error {
-						return c.runCellJob(ctx, pg, a, slot, key, attempt)
+						return c.runCellJob(ctx, pg, a, slot, key, fp, attempt)
 					},
 				})
 			}
@@ -330,6 +452,22 @@ func (c *campaign) buildJobs() []sched.Job {
 	return jobs
 }
 
+// warnStale reports (once per campaign, plus a counter) journal entries
+// whose coordinates match a cell but whose fingerprint does not: the
+// entry was recorded under a different platform configuration, worker
+// budget, dataset, or binary, and is deliberately not reused.
+func (c *campaign) warnStale(key string) {
+	telemetry.Metrics.Counter("core_journal_stale_entries_total",
+		"journaled cells rejected on resume because their fingerprint no longer matches").Inc()
+	if c.staleWarned {
+		return
+	}
+	c.staleWarned = true
+	slog.Warn("core: journal holds entries for this cell under a different fingerprint "+
+		"(configuration or binary changed); re-running instead of resuming",
+		"cell", key)
+}
+
 // classLimits maps each platform to its concurrency hint so that
 // memory-budgeted engines serialize their own jobs while the rest of
 // the campaign proceeds.
@@ -343,9 +481,23 @@ func (c *campaign) classLimits() map[string]int {
 	return limits
 }
 
-// restoreCell fills a slot from the journal; it reports whether the
-// cell was already finished by a previous (interrupted) campaign.
-func (c *campaign) restoreCell(slot int, key string) bool {
+// restoreCell fills a slot without executing anything, trying the
+// stamped result store first (the cell is UPTODATE: some prior campaign
+// produced this exact fingerprint) and the resume journal second (an
+// interrupted run of this campaign finished it). Restored results carry
+// a provenance mark so reports never pass restored numbers off as fresh
+// measurements.
+func (c *campaign) restoreCell(slot int, key string, fp stamp.Fingerprint) bool {
+	if c.b.Stamps != nil && !fp.IsZero() {
+		var r report.RunResult
+		if ok, err := c.b.Stamps.Get(fp, &r); ok && err == nil {
+			r.Provenance = report.ProvenanceUptodate
+			c.cells[slot] = &r
+			telemetry.Metrics.Counter("stamp_cell_hits_total",
+				"matrix cells restored from the stamped result store (UPTODATE)").Inc()
+			return true
+		}
+	}
 	if c.journal == nil {
 		return false
 	}
@@ -355,6 +507,7 @@ func (c *campaign) restoreCell(slot int, key string) bool {
 		// An unreadable entry just re-runs the cell.
 		return false
 	}
+	r.Provenance = report.ProvenanceResumed
 	c.cells[slot] = &r
 	return true
 }
@@ -376,8 +529,12 @@ func (c *campaign) loadJob(pg *pgState, attempt int) error {
 	sp.SetAttr("graph", pg.g.Name())
 	sp.SetAttr("attempt", attempt)
 	loadStart := time.Now()
-	loaded, err := pg.p.LoadGraph(pg.g)
+	loaded, cached, err := c.loadOrRestore(pg)
 	pg.loadTime = time.Since(loadStart)
+	pg.etlCached = cached
+	if cached {
+		sp.SetAttr("etl", "cache")
+	}
 	if err != nil {
 		sp.SetAttr("error", err.Error())
 	}
@@ -395,7 +552,7 @@ func (c *campaign) loadJob(pg *pgState, attempt int) error {
 					GraphEdges: pg.g.NumEdges(), Err: err.Error(),
 					Attempts: attempt,
 				}
-				c.finishCell(cell.slot, cellKey(pg.p.Name(), pg.g.Name(), cell.alg), r)
+				c.finishCell(cell.slot, cell.key, cell.fp, r)
 			}
 		}
 		return err
@@ -404,10 +561,54 @@ func (c *campaign) loadJob(pg *pgState, attempt int) error {
 	return nil
 }
 
+// loadOrRestore performs the ETL step, going through the artifact cache
+// when the platform supports it: a cached blob restores via ReadETL
+// (budget-checked like a live load); a miss runs LoadGraph and stores
+// the result for the next campaign; a corrupt or unreadable artifact is
+// reported, regenerated, and overwritten — never trusted.
+func (c *campaign) loadOrRestore(pg *pgState) (platform.Loaded, bool, error) {
+	cl, ok := pg.p.(platform.CachedLoader)
+	if !ok || c.b.Artifacts == nil || !c.stamping {
+		l, err := pg.p.LoadGraph(pg.g)
+		return l, false, err
+	}
+	fp := stamp.ETL(c.graphFPs[pg.g.Name()], pg.p.Name(),
+		platform.StampConfigOf(pg.p), cl.ETLVersion(), c.binary)
+	rc, hit, err := c.b.Artifacts.OpenETL(fp)
+	if err != nil {
+		slog.Warn("core: corrupt ETL artifact; re-running ETL",
+			"platform", pg.p.Name(), "graph", pg.g.Name(), "err", err)
+	} else if hit {
+		l, rerr := cl.ReadETL(pg.g, rc)
+		rc.Close()
+		if rerr == nil {
+			return l, true, nil
+		}
+		if errors.Is(rerr, platform.ErrOutOfMemory) {
+			// The blob restored fine but does not fit the budget — the
+			// same terminal failure a live load would hit.
+			return nil, false, rerr
+		}
+		slog.Warn("core: unreadable ETL artifact; re-running ETL",
+			"platform", pg.p.Name(), "graph", pg.g.Name(), "err", rerr)
+	}
+	l, err := pg.p.LoadGraph(pg.g)
+	if err != nil {
+		return nil, false, err
+	}
+	if serr := c.b.Artifacts.StoreETL(fp, func(w io.Writer) error {
+		return cl.WriteETL(l, w)
+	}); serr != nil {
+		slog.Warn("core: storing ETL artifact failed; next campaign re-runs ETL",
+			"platform", pg.p.Name(), "graph", pg.g.Name(), "err", serr)
+	}
+	return l, false, nil
+}
+
 // runCellJob executes one matrix cell (warm-ups + repetitions) and, on
 // its final attempt, records the result and possibly unloads the
 // graph. Transient failures propagate so the scheduler can retry.
-func (c *campaign) runCellJob(ctx context.Context, pg *pgState, a algo.Kind, slot int, key string, attempt int) error {
+func (c *campaign) runCellJob(ctx context.Context, pg *pgState, a algo.Kind, slot int, key string, fp stamp.Fingerprint, attempt int) error {
 	r, execErr := c.runCell(ctx, pg, a)
 	r.Attempts = attempt
 	if ctx.Err() != nil {
@@ -418,7 +619,7 @@ func (c *campaign) runCellJob(ctx context.Context, pg *pgState, a algo.Kind, slo
 	if !c.finalAttempt(execErr, attempt) {
 		return execErr
 	}
-	c.finishCell(slot, key, r)
+	c.finishCell(slot, key, fp, r)
 	if pg.remaining.Add(-1) == 0 {
 		pg.loaded.Close()
 	}
@@ -431,12 +632,14 @@ func (c *campaign) runCellJob(ctx context.Context, pg *pgState, a algo.Kind, slo
 var journalWarnOnce sync.Once
 
 // finishCell publishes a final cell outcome: slot write (collation),
-// journal entry (resume), progress callback (live output). Journal
-// writes are best-effort — a failed write only means the cell re-runs
-// after an interruption — but they are counted and warned about, never
-// silently dropped: a full disk showing up as a mysteriously
-// non-resumable campaign is a debugging trap.
-func (c *campaign) finishCell(slot int, key string, r report.RunResult) {
+// journal entry (resume), stamp-store entry (successes only — failures
+// must re-run next campaign, they are circumstances, not content),
+// progress callback (live output). Journal and stamp writes are
+// best-effort — a failed write only means the cell re-runs later — but
+// they are counted and warned about, never silently dropped: a full
+// disk showing up as a mysteriously non-resumable campaign is a
+// debugging trap.
+func (c *campaign) finishCell(slot int, key string, fp stamp.Fingerprint, r report.RunResult) {
 	c.cells[slot] = &r
 	slog.Debug("core: cell finished",
 		"cell", key, "platform", r.Platform, "graph", r.Graph, "algorithm", string(r.Algorithm),
@@ -456,6 +659,13 @@ func (c *campaign) finishCell(slot int, key string, r report.RunResult) {
 			}
 		}
 	}
+	if c.b.Stamps != nil && !fp.IsZero() && r.Status == report.StatusSuccess {
+		if err := c.b.Stamps.Put(fp, r); err != nil {
+			telemetry.Metrics.Counter("stamp_store_write_failures_total",
+				"successful cells that failed to record in the stamped result store").Inc()
+			slog.Debug("core: stamp store write failed", "cell", key, "err", err)
+		}
+	}
 	if c.b.Progress != nil {
 		c.progressMu.Lock()
 		c.b.Progress(r)
@@ -472,6 +682,11 @@ func (c *campaign) runCell(ctx context.Context, pg *pgState, a algo.Kind) (repor
 	r := report.RunResult{
 		Platform: pg.p.Name(), Graph: pg.g.Name(), Algorithm: a,
 		LoadTime: pg.loadTime, GraphEdges: pg.g.NumEdges(),
+	}
+	if pg.etlCached {
+		// The kernels run live, but LoadTime measured an artifact
+		// restore, not the platform's ETL — reports must say so.
+		r.Provenance = report.ProvenanceETLCache
 	}
 	reps := b.Reps
 	if reps < 1 {

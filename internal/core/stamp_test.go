@@ -1,0 +1,287 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphalytics/internal/algo"
+	"graphalytics/internal/artifact"
+	"graphalytics/internal/gen/datagen"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/platform"
+	"graphalytics/internal/platform/graphdb"
+	"graphalytics/internal/platform/pregel"
+	"graphalytics/internal/report"
+	"graphalytics/internal/stamp"
+)
+
+// StampConfig forwards the wrapped platform's config stamp, so stamped
+// campaigns over a countingPlatform fingerprint the real configuration
+// instead of falling back to the wrapper's name.
+func (c *countingPlatform) StampConfig() string { return platform.StampConfigOf(c.Platform) }
+
+func openStamps(t *testing.T, path string) *stamp.Store {
+	t.Helper()
+	s, err := stamp.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// The tentpole acceptance test: a second identical campaign over a
+// stamped result store executes zero ETL and zero kernels, yet renders
+// a complete report with full runtimes, marked uptodate.
+func TestStampedRerunIsNoOp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stamps.jsonl")
+	g := smokeGraph(t, 200, "stamped")
+
+	cp1 := &countingPlatform{Platform: pregel.New(pregel.Options{})}
+	b1 := &Benchmark{
+		Platforms:     []platform.Platform{cp1},
+		Graphs:        []*graph.Graph{g},
+		Validate:      true,
+		Stamps:        openStamps(t, path),
+		BinaryVersion: "v1",
+	}
+	rep1, err := b1.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp1.runs.Load() != int64(len(algo.Kinds)) {
+		t.Fatalf("first campaign executed %d cells, want %d", cp1.runs.Load(), len(algo.Kinds))
+	}
+
+	cp2 := &countingPlatform{Platform: pregel.New(pregel.Options{})}
+	b2 := &Benchmark{
+		Platforms:     []platform.Platform{cp2},
+		Graphs:        []*graph.Graph{g},
+		Validate:      true,
+		Stamps:        openStamps(t, path),
+		BinaryVersion: "v1",
+	}
+	rep2, err := b2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.loads.Load() != 0 || cp2.runs.Load() != 0 {
+		t.Fatalf("unchanged matrix still executed %d loads, %d runs", cp2.loads.Load(), cp2.runs.Load())
+	}
+	if len(rep2.Results) != len(rep1.Results) {
+		t.Fatalf("restored report has %d results, want %d", len(rep2.Results), len(rep1.Results))
+	}
+	for i, r := range rep2.Results {
+		if r.Provenance != report.ProvenanceUptodate {
+			t.Errorf("%s: provenance = %q, want uptodate", r.Algorithm, r.Provenance)
+		}
+		if r.Status != report.StatusSuccess {
+			t.Errorf("%s: status = %s", r.Algorithm, r.Status)
+		}
+		// Restored cells carry the original run's full numbers.
+		orig := rep1.Results[i]
+		if r.Runtime != orig.Runtime || r.KTEPS != orig.KTEPS || r.GraphEdges != orig.GraphEdges {
+			t.Errorf("%s: restored numbers diverge: %v/%v kTEPS=%v/%v", r.Algorithm,
+				r.Runtime, orig.Runtime, r.KTEPS, orig.KTEPS)
+		}
+		if orig.Reps != nil && (r.Reps == nil || r.Reps.Mean != orig.Reps.Mean) {
+			t.Errorf("%s: repetition statistics lost on restore", r.Algorithm)
+		}
+	}
+	if s := rep2.Summary(); !strings.Contains(s, "uptodate") {
+		t.Errorf("summary does not surface uptodate cells:\n%s", s)
+	}
+}
+
+// Every fingerprint input must invalidate cells on its own: graph seed,
+// weights flag, platform worker budget, workload policy, binary version.
+func TestStampInvalidation(t *testing.T) {
+	mkGraph := func(t *testing.T, seed uint64, weighted bool) *graph.Graph {
+		g, err := datagen.Generate(datagen.Config{Persons: 150, Seed: seed, Weighted: weighted, Name: "inv"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	type cfg struct {
+		seed     uint64
+		weighted bool
+		workers  int
+		validate bool
+		binary   string
+	}
+	base := cfg{seed: 1, workers: 1, validate: true, binary: "v1"}
+	run := func(t *testing.T, s *stamp.Store, c cfg) int64 {
+		cp := &countingPlatform{Platform: pregel.New(pregel.Options{Workers: c.workers})}
+		b := &Benchmark{
+			Platforms:     []platform.Platform{cp},
+			Graphs:        []*graph.Graph{mkGraph(t, c.seed, c.weighted)},
+			Algorithms:    []algo.Kind{algo.BFS},
+			Validate:      c.validate,
+			Stamps:        s,
+			BinaryVersion: c.binary,
+		}
+		if _, err := b.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return cp.runs.Load()
+	}
+	variants := map[string]cfg{
+		"unchanged": base,
+		"seed":      {seed: 2, workers: 1, validate: true, binary: "v1"},
+		"weights":   {seed: 1, weighted: true, workers: 1, validate: true, binary: "v1"},
+		"workers":   {seed: 1, workers: 2, validate: true, binary: "v1"},
+		"workload":  {seed: 1, workers: 1, validate: false, binary: "v1"},
+		"binary":    {seed: 1, workers: 1, validate: true, binary: "v2"},
+	}
+	for name, variant := range variants {
+		t.Run(name, func(t *testing.T) {
+			s := openStamps(t, filepath.Join(t.TempDir(), "stamps.jsonl"))
+			if got := run(t, s, base); got != 1 {
+				t.Fatalf("base campaign executed %d cells, want 1", got)
+			}
+			got := run(t, s, variant)
+			if name == "unchanged" {
+				if got != 0 {
+					t.Errorf("identical re-run executed %d cells, want 0", got)
+				}
+			} else if got != 1 {
+				t.Errorf("changing %s re-executed %d cells, want 1 (stale cell reused)", name, got)
+			}
+		})
+	}
+}
+
+// Satellite bugfix: a journaled result from a different binary (or any
+// other fingerprint input) must not be silently reused on resume — the
+// mismatched entry is rejected and the cell re-executes.
+func TestResumeRejectsMismatchedJournal(t *testing.T) {
+	checkpoint := filepath.Join(t.TempDir(), "campaign.journal")
+	g := smokeGraph(t, 150, "mismatch")
+	run := func(binary string) (*countingPlatform, *report.Report) {
+		cp := &countingPlatform{Platform: pregel.New(pregel.Options{})}
+		b := &Benchmark{
+			Platforms:      []platform.Platform{cp},
+			Graphs:         []*graph.Graph{g},
+			Algorithms:     []algo.Kind{algo.BFS, algo.CONN},
+			CheckpointPath: checkpoint,
+			BinaryVersion:  binary,
+		}
+		rep, err := b.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cp, rep
+	}
+
+	if cp, _ := run("v1"); cp.runs.Load() != 2 {
+		t.Fatalf("first campaign executed %d cells", cp.runs.Load())
+	}
+	// Same checkpoint, same binary: everything resumes.
+	if cp, rep := run("v1"); cp.runs.Load() != 0 {
+		t.Errorf("same-binary resume executed %d cells, want 0", cp.runs.Load())
+	} else {
+		for _, r := range rep.Results {
+			if r.Provenance != report.ProvenanceResumed {
+				t.Errorf("%s: provenance = %q, want resumed", r.Algorithm, r.Provenance)
+			}
+		}
+	}
+	// Same checkpoint, different binary: the stale entries must NOT be
+	// reused — every cell re-executes live.
+	cp, rep := run("v2")
+	if cp.runs.Load() != 2 {
+		t.Errorf("new-binary resume executed %d cells, want 2 (stale journal reused?)", cp.runs.Load())
+	}
+	for _, r := range rep.Results {
+		if r.Provenance != report.ProvenanceLive {
+			t.Errorf("%s: provenance = %q, want live", r.Algorithm, r.Provenance)
+		}
+	}
+}
+
+// The ETL artifact cache: a second campaign over the same (platform,
+// graph) restores the graph database's record stores instead of
+// rebuilding them, and the report says so.
+func TestETLCacheProvenance(t *testing.T) {
+	cache, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := smokeGraph(t, 200, "etl")
+	run := func() *report.Report {
+		b := &Benchmark{
+			Platforms:  []platform.Platform{graphdb.New(graphdb.Options{})},
+			Graphs:     []*graph.Graph{g},
+			Algorithms: []algo.Kind{algo.BFS, algo.CONN},
+			Artifacts:  cache,
+		}
+		rep, err := b.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	for _, r := range run().Results {
+		if r.Status != report.StatusSuccess || r.Provenance != report.ProvenanceLive {
+			t.Fatalf("first campaign %s: status=%s provenance=%q", r.Algorithm, r.Status, r.Provenance)
+		}
+	}
+	for _, r := range run().Results {
+		if r.Status != report.StatusSuccess {
+			t.Errorf("cached campaign %s: %s (%s)", r.Algorithm, r.Status, r.Err)
+		}
+		if r.Provenance != report.ProvenanceETLCache {
+			t.Errorf("%s: provenance = %q, want etl-cache", r.Algorithm, r.Provenance)
+		}
+	}
+}
+
+// A corrupted ETL artifact is detected on read (verify-on-read), the
+// campaign falls back to a live ETL, and the cell still succeeds.
+func TestETLCacheCorruptionFallsBackToLive(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := artifact.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Verify = true
+	g := smokeGraph(t, 200, "etl-rot")
+	run := func() *report.Report {
+		b := &Benchmark{
+			Platforms:  []platform.Platform{graphdb.New(graphdb.Options{})},
+			Graphs:     []*graph.Graph{g},
+			Algorithms: []algo.Kind{algo.BFS},
+			Artifacts:  cache,
+		}
+		rep, err := b.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	run()
+
+	// Tamper with every ETL blob behind the cache's back.
+	blobs, err := filepath.Glob(filepath.Join(dir, "etl", "*.bin"))
+	if err != nil || len(blobs) == 0 {
+		t.Fatalf("no ETL artifacts written: %v, %v", blobs, err)
+	}
+	for _, blob := range blobs {
+		if err := os.WriteFile(blob, []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rep := run()
+	r := rep.Results[0]
+	if r.Status != report.StatusSuccess {
+		t.Fatalf("campaign over corrupted cache: %s (%s)", r.Status, r.Err)
+	}
+	if r.Provenance != report.ProvenanceLive {
+		t.Errorf("provenance = %q, want live (corrupt blob must not count as a cache hit)", r.Provenance)
+	}
+}

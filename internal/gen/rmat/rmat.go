@@ -64,6 +64,16 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Stamp returns the canonical parameter string for content-addressed
+// dataset fingerprints: every parameter that changes the output
+// (defaults applied first, so "0" and "explicit default" stamp equal),
+// excluding Workers — generation is bit-identical at any parallelism.
+func (c Config) Stamp() string {
+	d := c.withDefaults()
+	return fmt.Sprintf("scale=%d,ef=%d,a=%g,b=%g,c=%g,seed=%d,noise=%g,name=%s,weighted=%t",
+		d.Scale, d.EdgeFactor, d.A, d.B, d.C, d.Seed, d.Noise, d.Name, d.Weighted)
+}
+
 // Generate produces an undirected R-MAT graph (Graph500 graphs are made
 // undirected for BFS). Self-loops and duplicate edges are removed, so
 // the realized edge count is slightly below Scale×EdgeFactor.

@@ -90,6 +90,20 @@ func Find(name string) (Spec, error) {
 	return Spec{}, fmt.Errorf("surrogate: unknown dataset %q", name)
 }
 
+// Stamp returns the canonical parameter string for content-addressed
+// dataset fingerprints: the spec identity and every option that changes
+// the output, with the scale divisor and seed resolved first so the
+// environment-variable and explicit forms stamp equal.
+func Stamp(spec Spec, opts Options) string {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 0x6a1ba1 + uint64(len(spec.Name))
+	}
+	return fmt.Sprintf("name=%s,v=%d,e=%d,zeta=%g,div=%d,seed=%d,rewire=%t,swaps=%d",
+		spec.Name, spec.Vertices, spec.Edges, spec.zetaS,
+		opts.scaleDiv(), seed, opts.Rewire, opts.MaxSwaps)
+}
+
 // Generate synthesizes the surrogate for spec under opts.
 func Generate(spec Spec, opts Options) (*graph.Graph, error) {
 	div := opts.scaleDiv()

@@ -42,6 +42,12 @@ func New(opts Options) *Platform {
 // Name implements platform.Platform.
 func (p *Platform) Name() string { return "dataflow" }
 
+// StampConfig implements platform.ConfigStamper.
+func (p *Platform) StampConfig() string {
+	return fmt.Sprintf("dataflow/parts=%d,mem=%d,retain=%d",
+		p.opts.Parts, p.opts.MemoryBudget, p.opts.RetainWindow)
+}
+
 // ConcurrencyLimit implements platform.ConcurrencyHinter: a
 // memory-budgeted engine serializes its jobs so concurrent loads do
 // not double-count against one budget.

@@ -1,0 +1,154 @@
+package graphdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"graphalytics/internal/graph"
+	"graphalytics/internal/platform"
+)
+
+// ETL blob format for the artifact cache. The graph database is the one
+// platform whose ETL does real work (building record stores with
+// per-node relationship chains), so its output is worth persisting:
+//
+//	magic    "GDBE" (4 bytes)
+//	version  u8 (1)
+//	flags    u8 (bit0 = directed, bit1 = weighted)
+//	numNodes u64 LE
+//	numRels  u64 LE
+//	nodes    numNodes × i32 LE (firstRel per node)
+//	rels     numRels × (src u32, dst u32, srcNext i32, dstNext i32) LE
+//	weights  numRels × f64 LE (weighted stores only)
+//
+// The page cache is deliberately NOT serialized: it is runtime state,
+// and a restored store starts cold exactly like a freshly built one, so
+// cached loads keep the same hit/miss behaviour as live ETL.
+
+const (
+	etlMagic   = "GDBE"
+	etlVersion = 1
+
+	etlFlagDirected = 1 << 0
+	etlFlagWeighted = 1 << 1
+)
+
+// errETL reports a malformed or mismatched ETL blob.
+var errETL = errors.New("graphdb: bad ETL blob")
+
+// ETLVersion implements platform.CachedLoader.
+func (p *Platform) ETLVersion() string { return "graphdb-etl-v1" }
+
+// WriteETL implements platform.CachedLoader: it serializes the record
+// stores of a graph loaded by this platform.
+func (p *Platform) WriteETL(l platform.Loaded, w io.Writer) error {
+	ld, ok := l.(*loaded)
+	if !ok {
+		return fmt.Errorf("graphdb: WriteETL: not a graphdb-loaded graph (%T)", l)
+	}
+	s := ld.store
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var flags byte
+	if s.directed {
+		flags |= etlFlagDirected
+	}
+	if s.weights != nil {
+		flags |= etlFlagWeighted
+	}
+	header := make([]byte, 0, 22)
+	header = append(header, etlMagic...)
+	header = append(header, etlVersion, flags)
+	header = binary.LittleEndian.AppendUint64(header, uint64(len(s.nodes)))
+	header = binary.LittleEndian.AppendUint64(header, uint64(len(s.rels)))
+	if _, err := bw.Write(header); err != nil {
+		return err
+	}
+	var buf [16]byte
+	for _, first := range s.nodes {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(first))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	for _, r := range s.rels {
+		binary.LittleEndian.PutUint32(buf[0:], uint32(r.src))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(r.dst))
+		binary.LittleEndian.PutUint32(buf[8:], uint32(r.srcNext))
+		binary.LittleEndian.PutUint32(buf[12:], uint32(r.dstNext))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	for _, wt := range s.weights {
+		binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(wt))
+		if _, err := bw.Write(buf[:8]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadETL implements platform.CachedLoader: it reconstructs the record
+// stores from a WriteETL blob and applies the same memory budget as
+// LoadGraph (a cached load still has to fit).
+func (p *Platform) ReadETL(g *graph.Graph, r io.Reader) (platform.Loaded, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	header := make([]byte, 22)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("%w: header: %w", errETL, err)
+	}
+	if string(header[:4]) != etlMagic {
+		return nil, fmt.Errorf("%w: bad magic", errETL)
+	}
+	if header[4] != etlVersion {
+		return nil, fmt.Errorf("%w: version %d", errETL, header[4])
+	}
+	flags := header[5]
+	numNodes := binary.LittleEndian.Uint64(header[6:14])
+	numRels := binary.LittleEndian.Uint64(header[14:22])
+	if int(numNodes) != g.NumVertices() {
+		return nil, fmt.Errorf("%w: %d nodes for a %d-vertex graph", errETL, numNodes, g.NumVertices())
+	}
+	s := &Store{
+		directed: flags&etlFlagDirected != 0,
+		nodes:    make([]int32, numNodes),
+		rels:     make([]relRecord, numRels),
+		cache:    newPageCache(p.opts.PageCachePages),
+	}
+	var buf [16]byte
+	for i := range s.nodes {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, fmt.Errorf("%w: node store: %w", errETL, err)
+		}
+		s.nodes[i] = int32(binary.LittleEndian.Uint32(buf[:4]))
+	}
+	for i := range s.rels {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("%w: relationship store: %w", errETL, err)
+		}
+		s.rels[i] = relRecord{
+			src:     graph.VertexID(binary.LittleEndian.Uint32(buf[0:])),
+			dst:     graph.VertexID(binary.LittleEndian.Uint32(buf[4:])),
+			srcNext: int32(binary.LittleEndian.Uint32(buf[8:])),
+			dstNext: int32(binary.LittleEndian.Uint32(buf[12:])),
+		}
+	}
+	if flags&etlFlagWeighted != 0 {
+		s.weights = make([]float64, numRels)
+		for i := range s.weights {
+			if _, err := io.ReadFull(br, buf[:8]); err != nil {
+				return nil, fmt.Errorf("%w: property store: %w", errETL, err)
+			}
+			s.weights[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:8]))
+		}
+	}
+	mem := platform.NewMemoryTracker(p.Name(), p.opts.MemoryBudget)
+	if err := mem.Alloc(s.Bytes()); err != nil {
+		return nil, err
+	}
+	return &loaded{p: p, g: g, store: s, mem: mem}, nil
+}

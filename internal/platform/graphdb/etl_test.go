@@ -1,0 +1,116 @@
+package graphdb
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"graphalytics/internal/gen/datagen"
+	"graphalytics/internal/platform"
+)
+
+func etlRoundTrip(t *testing.T, weighted bool) {
+	t.Helper()
+	g, err := datagen.Generate(datagen.Config{Persons: 300, Seed: 7, Weighted: weighted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Options{PageCachePages: 8})
+	live, err := p.LoadGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+
+	var blob bytes.Buffer
+	if err := p.WriteETL(live, &blob); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := p.ReadETL(g, &blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+
+	ls, rs := live.(*loaded).store, restored.(*loaded).store
+	if rs.directed != ls.directed {
+		t.Errorf("directed = %v, want %v", rs.directed, ls.directed)
+	}
+	if !reflect.DeepEqual(rs.nodes, ls.nodes) {
+		t.Error("node stores differ after ETL round trip")
+	}
+	if !reflect.DeepEqual(rs.rels, ls.rels) {
+		t.Error("relationship stores differ after ETL round trip")
+	}
+	if !reflect.DeepEqual(rs.weights, ls.weights) {
+		t.Error("property stores differ after ETL round trip")
+	}
+}
+
+func TestETLRoundTripUnweighted(t *testing.T) { etlRoundTrip(t, false) }
+func TestETLRoundTripWeighted(t *testing.T)   { etlRoundTrip(t, true) }
+
+// A cached load still has to fit: ReadETL applies the same memory
+// budget as live ETL.
+func TestETLReadEnforcesBudget(t *testing.T) {
+	g, err := datagen.Generate(datagen.Config{Persons: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Options{})
+	live, err := p.LoadGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	var blob bytes.Buffer
+	if err := p.WriteETL(live, &blob); err != nil {
+		t.Fatal(err)
+	}
+	tiny := New(Options{MemoryBudget: 1024})
+	if _, err := tiny.ReadETL(g, &blob); !errors.Is(err, platform.ErrOutOfMemory) {
+		t.Fatalf("ReadETL under a 1KB budget = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestETLRejectsGarbage(t *testing.T) {
+	g, err := datagen.Generate(datagen.Config{Persons: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Options{})
+	for name, blob := range map[string][]byte{
+		"empty":     nil,
+		"bad-magic": []byte("NOPE\x01\x00aaaaaaaaaaaaaaaa"),
+		"truncated": append([]byte(etlMagic), etlVersion, 0),
+	} {
+		if _, err := p.ReadETL(g, bytes.NewReader(blob)); !errors.Is(err, errETL) {
+			t.Errorf("%s: err = %v, want errETL", name, err)
+		}
+	}
+}
+
+func TestETLRejectsMismatchedGraph(t *testing.T) {
+	g, err := datagen.Generate(datagen.Config{Persons: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Options{})
+	live, err := p.LoadGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	var blob bytes.Buffer
+	if err := p.WriteETL(live, &blob); err != nil {
+		t.Fatal(err)
+	}
+	other, err := datagen.Generate(datagen.Config{Persons: 120, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ReadETL(other, &blob); !errors.Is(err, errETL) {
+		t.Fatalf("blob for a different graph accepted: %v", err)
+	}
+}

@@ -35,6 +35,13 @@ func New(opts Options) *Platform {
 // Name implements platform.Platform.
 func (p *Platform) Name() string { return "graphdb" }
 
+// StampConfig implements platform.ConfigStamper. PageCachePages changes
+// hit/miss counters (part of the stored result), so it invalidates too.
+func (p *Platform) StampConfig() string {
+	return fmt.Sprintf("graphdb/mem=%d,pages=%d",
+		p.opts.MemoryBudget, p.opts.PageCachePages)
+}
+
 // ConcurrencyLimit implements platform.ConcurrencyHinter: the record
 // store and its page cache are sized for one resident graph, so a
 // memory-budgeted database serializes its jobs.

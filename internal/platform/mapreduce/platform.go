@@ -46,6 +46,14 @@ func New(opts Options) *Platform {
 // Name implements platform.Platform.
 func (p *Platform) Name() string { return "mapreduce" }
 
+// StampConfig implements platform.ConfigStamper. RoundOverhead is
+// included because it changes reported runtimes even though outputs are
+// identical — a stamped result stores the timings too.
+func (p *Platform) StampConfig() string {
+	return fmt.Sprintf("mapreduce/workers=%d,roundoverhead=%s,maxjobs=%d",
+		p.opts.Workers, p.opts.RoundOverhead, p.opts.MaxJobs)
+}
+
 // LoadGraph implements platform.Platform. MapReduce streams state
 // through spill buffers, so there is no memory budget to enforce: ETL
 // never fails for capacity reasons (§3.3).

@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync/atomic"
 	"time"
 
@@ -51,6 +52,48 @@ func ConcurrencyLimitOf(p Platform) int {
 		return h.ConcurrencyLimit()
 	}
 	return 0
+}
+
+// ConfigStamper is optionally implemented by platforms to expose a
+// canonical configuration string for content-addressed fingerprints:
+// everything that changes results or resource behaviour (worker budget,
+// memory budget, engine knobs) and nothing that does not. The
+// incremental campaign engine folds it into every cell fingerprint, so
+// a stamped result is never reused across a configuration change.
+type ConfigStamper interface {
+	// StampConfig returns the canonical configuration string.
+	StampConfig() string
+}
+
+// StampConfigOf returns p's configuration stamp, degrading to the bare
+// platform name for platforms that do not implement ConfigStamper
+// (wrapped or external platforms): their results then invalidate only
+// on name/binary changes, which is conservative but never wrong in the
+// unsafe direction as long as the wrapper is deterministic.
+func StampConfigOf(p Platform) string {
+	if s, ok := p.(ConfigStamper); ok {
+		return s.StampConfig()
+	}
+	return p.Name()
+}
+
+// CachedLoader is optionally implemented by platforms whose ETL output
+// can be serialized to the artifact cache and restored without
+// re-running the transformation. The harness stores the blob under the
+// ETL fingerprint (dataset × platform config × ETLVersion × binary) and
+// feeds it back through ReadETL on later campaigns.
+type CachedLoader interface {
+	Platform
+	// ETLVersion names the blob encoding; bump it whenever the
+	// serialization or the loaded representation changes so stale
+	// artifacts miss instead of mis-loading.
+	ETLVersion() string
+	// WriteETL serializes the platform-resident form of a loaded graph.
+	WriteETL(l Loaded, w io.Writer) error
+	// ReadETL reconstructs a Loaded from a blob written by WriteETL for
+	// the same graph. It must enforce the same resource budgets as
+	// LoadGraph (a cached load still counts against memory budgets).
+	ReadETL(g *graph.Graph, r io.Reader) (Loaded, error)
 }
 
 // Loaded is a graph resident on a platform, ready to run algorithms.

@@ -41,6 +41,17 @@ func New(opts Options) *Platform {
 // Name implements platform.Platform.
 func (p *Platform) Name() string { return "pregel" }
 
+// StampConfig implements platform.ConfigStamper: every option that
+// changes results or resource behaviour, canonically rendered.
+func (p *Platform) StampConfig() string {
+	part := "hash"
+	if p.opts.Partitioner != nil {
+		part = p.opts.Partitioner.Name()
+	}
+	return fmt.Sprintf("pregel/workers=%d,mem=%d,combiners=%t,partitioner=%s",
+		p.opts.Workers, p.opts.MemoryBudget, !p.opts.DisableCombiners, part)
+}
+
 // ConcurrencyLimit implements platform.ConcurrencyHinter: a
 // memory-budgeted engine serializes its jobs so concurrent loads do
 // not double-count against one budget.

@@ -70,7 +70,34 @@ type RunResult struct {
 	// Resources is the monitoring envelope of the cell (peaks,
 	// percentiles, CPU/GC totals); nil when monitoring was disabled.
 	Resources *monitor.Resources `json:"resources,omitempty"`
+	// Provenance records where the cell's numbers came from:
+	// ProvenanceLive (executed this campaign), ProvenanceResumed
+	// (restored from the resume journal), ProvenanceUptodate (restored
+	// from the stamped result store — the cell's fingerprint matched a
+	// prior campaign), or ProvenanceETLCache (executed, but the platform
+	// load came from the ETL artifact cache).
+	Provenance Provenance `json:"provenance,omitempty"`
 }
+
+// Provenance labels the origin of a cell's numbers in reports.
+type Provenance string
+
+// Provenance values, from "all work done now" to "no work done at all".
+const (
+	// ProvenanceLive marks a cell fully executed in this campaign.
+	ProvenanceLive Provenance = ""
+	// ProvenanceETLCache marks a cell whose kernels executed in this
+	// campaign but whose platform ETL was restored from the artifact
+	// cache (LoadTime measures the restore, not the transformation).
+	ProvenanceETLCache Provenance = "etl-cache"
+	// ProvenanceResumed marks a cell restored from the resume journal of
+	// an interrupted run of this same campaign.
+	ProvenanceResumed Provenance = "resumed"
+	// ProvenanceUptodate marks a cell restored from the stamped result
+	// store: its content fingerprint matched a previous campaign, so no
+	// kernel ran (the incremental-build UPTODATE state).
+	ProvenanceUptodate Provenance = "uptodate"
+)
 
 // IngestStat records the ingest phase of one dataset: the wall-clock
 // cost of parsing/generating the graph and building its CSR arrays,
@@ -277,12 +304,16 @@ func IngestTable(ingests []IngestStat) string {
 
 // ResourceTable renders the per-cell phase breakdown (load vs compute
 // wall time) and resource envelope (peak RSS, peak heap, mean CPU, GC
-// pause) sampled by the System Monitor. Cells without monitoring data
-// are omitted; the table is empty if no cell was monitored.
+// pause) sampled by the System Monitor. Cells with neither monitoring
+// data nor a provenance mark are omitted; restored cells (resumed /
+// uptodate) always render, with their envelope columns carried from the
+// original run when it was serialized and "n/a" otherwise — restored
+// monitor data is labeled, never silently dropped or passed off as
+// fresh samples.
 func ResourceTable(results []RunResult) string {
 	any := false
 	for _, r := range results {
-		if r.Resources != nil {
+		if r.Resources != nil || r.Provenance != ProvenanceLive {
 			any = true
 			break
 		}
@@ -292,26 +323,31 @@ func ResourceTable(results []RunResult) string {
 	}
 	var b strings.Builder
 	b.WriteString("=== resources (per cell: phase breakdown + envelope) ===\n")
-	fmt.Fprintf(&b, "%-10s %-12s %-6s %10s %10s %10s %10s %8s %10s\n",
-		"platform", "graph", "algo", "load", "compute", "peak RSS", "peak heap", "CPU%", "GC pause")
+	fmt.Fprintf(&b, "%-10s %-12s %-6s %10s %10s %10s %10s %8s %10s  %s\n",
+		"platform", "graph", "algo", "load", "compute", "peak RSS", "peak heap", "CPU%", "GC pause", "origin")
 	for _, r := range results {
-		if r.Resources == nil {
+		if r.Resources == nil && r.Provenance == ProvenanceLive {
 			continue
 		}
-		res := r.Resources
-		rss := "n/a"
-		if res.PeakRSSBytes > 0 {
-			rss = formatBytes(res.PeakRSSBytes)
+		rss, heap, cpu, gc := "n/a", "n/a", "n/a", "n/a"
+		if res := r.Resources; res != nil {
+			if res.PeakRSSBytes > 0 {
+				rss = formatBytes(res.PeakRSSBytes)
+			}
+			heap = formatBytes(res.PeakHeapBytes)
+			if res.CPUMeanPercent > 0 {
+				cpu = fmt.Sprintf("%.0f", res.CPUMeanPercent)
+			}
+			gc = res.GCPauseTotal.Round(time.Microsecond).String()
 		}
-		cpu := "n/a"
-		if res.CPUMeanPercent > 0 {
-			cpu = fmt.Sprintf("%.0f", res.CPUMeanPercent)
+		origin := "live"
+		if r.Provenance != ProvenanceLive {
+			origin = string(r.Provenance)
 		}
-		fmt.Fprintf(&b, "%-10s %-12s %-6s %10s %10s %10s %10s %8s %10s\n",
+		fmt.Fprintf(&b, "%-10s %-12s %-6s %10s %10s %10s %10s %8s %10s  %s\n",
 			r.Platform, r.Graph, r.Algorithm,
 			formatSeconds(r.LoadTime), formatSeconds(r.Runtime),
-			rss, formatBytes(res.PeakHeapBytes), cpu,
-			res.GCPauseTotal.Round(time.Microsecond))
+			rss, heap, cpu, gc, origin)
 	}
 	return b.String()
 }
@@ -410,16 +446,24 @@ func (rep *Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(rep)
 }
 
-// Summary returns a one-paragraph textual summary (counts per status).
+// Summary returns a one-paragraph textual summary (counts per status,
+// plus how many cells were restored rather than executed).
 func (rep *Report) Summary() string {
 	counts := map[Status]int{}
+	prov := map[Provenance]int{}
 	for _, r := range rep.Results {
 		counts[r.Status]++
+		prov[r.Provenance]++
 	}
 	parts := make([]string, 0, len(counts))
 	for _, s := range []Status{StatusSuccess, StatusOOM, StatusTimeout, StatusError, StatusInvalid, StatusLoadError, StatusCancelled} {
 		if counts[s] > 0 {
 			parts = append(parts, fmt.Sprintf("%d %s", counts[s], s))
+		}
+	}
+	for _, p := range []Provenance{ProvenanceUptodate, ProvenanceResumed, ProvenanceETLCache} {
+		if prov[p] > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", prov[p], p))
 		}
 	}
 	return fmt.Sprintf("%d runs (%s) in %s",

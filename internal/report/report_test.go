@@ -126,3 +126,47 @@ func TestEmptyResults(t *testing.T) {
 		t.Errorf("Figure5Table should still print a header: %q", table)
 	}
 }
+
+func TestResourceTableProvenance(t *testing.T) {
+	results := []RunResult{
+		{Platform: "pregel", Graph: "g", Algorithm: algo.BFS, Status: StatusSuccess,
+			Runtime: time.Second, Provenance: ProvenanceUptodate},
+		{Platform: "pregel", Graph: "g", Algorithm: algo.CONN, Status: StatusSuccess,
+			Runtime: time.Second, Provenance: ProvenanceResumed},
+		// Live cell without monitor data: excluded, as before.
+		{Platform: "pregel", Graph: "g", Algorithm: algo.PR, Status: StatusSuccess,
+			Runtime: time.Second},
+	}
+	table := ResourceTable(results)
+	if !strings.Contains(table, "origin") {
+		t.Fatalf("resource table lacks an origin column:\n%s", table)
+	}
+	if !strings.Contains(table, "uptodate") || !strings.Contains(table, "resumed") {
+		t.Errorf("restored cells dropped from resource table:\n%s", table)
+	}
+	// Restored rows have no monitor samples: they render n/a, not zeros.
+	if !strings.Contains(table, "n/a") {
+		t.Errorf("restored rows must render n/a for missing resources:\n%s", table)
+	}
+	if strings.Contains(table, string(algo.PR)) {
+		t.Errorf("live cell without resources leaked into the table:\n%s", table)
+	}
+}
+
+func TestSummaryProvenanceCounts(t *testing.T) {
+	results := sampleResults()
+	results[0].Provenance = ProvenanceUptodate
+	results[1].Provenance = ProvenanceResumed
+	results[3].Provenance = ProvenanceETLCache
+	rep := &Report{Results: results}
+	s := rep.Summary()
+	for _, want := range []string{"uptodate", "resumed", "etl-cache"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary lacks %q count:\n%s", want, s)
+		}
+	}
+	// All-live reports stay unchanged: no provenance noise.
+	if s := (&Report{Results: sampleResults()}).Summary(); strings.Contains(s, "uptodate") {
+		t.Errorf("all-live summary mentions provenance:\n%s", s)
+	}
+}

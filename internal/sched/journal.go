@@ -63,6 +63,22 @@ func (j *Journal) Has(key string) bool {
 	return ok
 }
 
+// HasPrefix reports whether any journaled key starts with prefix. The
+// campaign engine uses it to detect stale entries whose coordinates
+// match a cell but whose fingerprint suffix does not (same cell, run
+// under a different configuration or binary): those must not be
+// silently resumed, only reported.
+func (j *Journal) HasPrefix(prefix string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for k := range j.done {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
+
 // Get unmarshals the journaled value for key into v and reports whether
 // the key was present.
 func (j *Journal) Get(key string, v any) (bool, error) {

@@ -113,3 +113,26 @@ func TestJournalToleratesTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestJournalHasPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Record("cell/pregel/g/bfs@abcdef123456", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !j.HasPrefix("cell/pregel/g/bfs@") {
+		t.Error("HasPrefix misses a stamped key")
+	}
+	// A sibling algorithm whose name extends the base must not match:
+	// stale detection probes "<base>@", not the bare base.
+	if j.HasPrefix("cell/pregel/g/bfs-wide@") {
+		t.Error("HasPrefix matches an unrelated algorithm")
+	}
+	if j.HasPrefix("cell/pregel/g/pr@") {
+		t.Error("HasPrefix matches a missing key")
+	}
+}
