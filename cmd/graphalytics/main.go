@@ -53,6 +53,7 @@ import (
 	"graphalytics/internal/artifact"
 	"graphalytics/internal/config"
 	"graphalytics/internal/core"
+	"graphalytics/internal/dist"
 	"graphalytics/internal/gen/datagen"
 	"graphalytics/internal/gen/rmat"
 	"graphalytics/internal/gen/surrogate"
@@ -101,6 +102,8 @@ func run() error {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address while the campaign runs (e.g. :6060)")
 		logFormat  = flag.String("log-format", "text", "structured log format: text or json")
 		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		serveAddr  = flag.String("serve-campaign", "", "run as a distributed campaign manager: listen on this address (e.g. :7113) and lease matrix cells to graphrunner processes instead of executing them locally")
+		leaseTO    = flag.Duration("lease-timeout", dist.DefaultLeaseTimeout, "distributed mode: re-lease a cell whose runner sends no progress for this long")
 	)
 	flag.Parse()
 	if err := telemetry.SetupLogging(nil, *logFormat, *logLevel); err != nil {
@@ -266,6 +269,34 @@ func run() error {
 			fmt.Printf("  %-10s %-14s %-6s %-10s %s%s\n", r.Platform, r.Graph, r.Algorithm, r.Status, r.Cell(), extra)
 		},
 	}
+	// Distributed mode: instead of the local pool, a manager leases the
+	// cells to graphrunner processes. Everything else — restore, retry,
+	// journaling, stamping, collation, /status — is shared.
+	if *serveAddr != "" {
+		specs, err := platformSpecs(platformNames, props, *platWork)
+		if err != nil {
+			return err
+		}
+		graphsByName := make(map[string]*graph.Graph, len(graphs))
+		for _, g := range graphs {
+			graphsByName[g.Name()] = g
+		}
+		mgr, err := dist.NewManager(dist.ManagerOptions{
+			Platforms:    specs,
+			Graphs:       graphsByName,
+			Artifacts:    cache,
+			LeaseTimeout: *leaseTO,
+		})
+		if err != nil {
+			return err
+		}
+		if err := mgr.Serve(*serveAddr); err != nil {
+			return err
+		}
+		defer mgr.Close()
+		bench.Executor = mgr
+	}
+
 	fmt.Printf("running %d platforms × %d graphs × %d algorithms\n", len(plats), len(graphs), len(algs))
 	// Ctrl-C cancels the campaign context: the running kernel notices
 	// within one check stride, in-flight cells come back cancelled (not
@@ -490,6 +521,25 @@ func buildPlatforms(names []string, props *config.Properties, workers int) ([]pl
 		}
 	}
 	return out, nil
+}
+
+// platformSpecs derives the lease-borne construction recipes from the
+// same properties buildPlatforms reads, so remote runners build engines
+// identical to the ones a local campaign would have used.
+func platformSpecs(names []string, props *config.Properties, workers int) (map[string]dist.PlatformSpec, error) {
+	specs := make(map[string]dist.PlatformSpec, len(names))
+	for _, name := range names {
+		mem, err := props.Int64("platform."+name+".memory", 0)
+		if err != nil {
+			return nil, err
+		}
+		w64, err := props.Int64("platform."+name+".workers", int64(workers))
+		if err != nil {
+			return nil, err
+		}
+		specs[name] = dist.PlatformSpec{Name: name, Memory: mem, Workers: int(w64)}
+	}
+	return specs, nil
 }
 
 // parseAlgorithms resolves workload names (or LDBC aliases) through the

@@ -1,0 +1,116 @@
+// Command graphrunner is the worker side of a distributed graphalytics
+// campaign: it connects to a manager started with
+// `graphalytics -serve-campaign <addr>`, announces which platforms it
+// can run and how many cells it accepts concurrently, and then executes
+// leased matrix cells with the same kernels, monitor, validator, and
+// content-addressed caches a local campaign uses. Results stream back
+// to the manager, which collates them into the single campaign report.
+//
+// Usage:
+//
+//	graphrunner -connect host:7113 [-slots 2] [-platforms pregel,graphdb]
+//
+// The runner keeps a local artifact cache (-cache-dir, by default a
+// fresh temporary directory): graphs and ETL blobs fetched from the
+// manager are stored under their content fingerprint, so repeated
+// leases — and repeated campaigns against a persistent cache — skip
+// the transfer and the transformation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"graphalytics/internal/artifact"
+	"graphalytics/internal/dist"
+	"graphalytics/internal/stamp"
+	"graphalytics/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "graphrunner:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		connect   = flag.String("connect", "", "manager address to connect to (required, e.g. host:7113)")
+		name      = flag.String("name", "", "runner name shown in manager logs (default: the local address)")
+		slots     = flag.Int("slots", 1, "concurrent leases this runner accepts")
+		platforms = flag.String("platforms", "", "comma-separated platforms this runner offers (default: all)")
+		cacheDir  = flag.String("cache-dir", "", "local artifact cache directory: fetched graphs and ETL blobs are stored under their content fingerprint (default: a fresh temporary directory)")
+		retryFor  = flag.Duration("retry-for", 30*time.Second, "keep retrying the initial connection for this long (lets runners start before the manager)")
+		logFormat = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+	)
+	flag.Parse()
+	if err := telemetry.SetupLogging(nil, *logFormat, *logLevel); err != nil {
+		return err
+	}
+	if *connect == "" {
+		return fmt.Errorf("-connect is required (the manager's -serve-campaign address)")
+	}
+
+	dir := *cacheDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "graphrunner-cache-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	cache, err := artifact.Open(dir)
+	if err != nil {
+		return err
+	}
+	stamps, err := stamp.OpenStore(cache.StampStorePath())
+	if err != nil {
+		return err
+	}
+	defer stamps.Close()
+
+	var platformList []string
+	if *platforms != "" {
+		for _, p := range strings.Split(*platforms, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				platformList = append(platformList, p)
+			}
+		}
+	}
+
+	opts := dist.RunnerOptions{
+		Name:      *name,
+		Slots:     *slots,
+		Platforms: platformList,
+		Cache:     cache,
+		Stamps:    stamps,
+	}
+
+	// Retry the dial inside the window: operators (and CI) routinely
+	// start runners and manager in either order.
+	var runner *dist.Runner
+	deadline := time.Now().Add(*retryFor)
+	for {
+		runner, err = dist.Connect(*connect, opts)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	return runner.Run(ctx)
+}

@@ -1,0 +1,44 @@
+// Smoke test: every example program must build and run to completion.
+// Each example is a full benchmark in miniature, so the sweep costs
+// real time — it runs only when GRAPHALYTICS_EXAMPLES_SMOKE=1 (CI sets
+// it; `go test ./...` stays fast).
+package examples_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if os.Getenv("GRAPHALYTICS_EXAMPLES_SMOKE") != "1" {
+		t.Skip("set GRAPHALYTICS_EXAMPLES_SMOKE=1 to run the examples smoke sweep")
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := e.Name()
+		if _, err := os.Stat(filepath.Join(dir, "main.go")); err != nil {
+			continue
+		}
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			start := time.Now()
+			cmd := exec.Command("go", "run", "./"+dir)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed after %s: %v\n%s", dir, time.Since(start).Round(time.Millisecond), err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", dir)
+			}
+		})
+	}
+}

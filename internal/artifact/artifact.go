@@ -1,20 +1,3 @@
-// Package artifact implements the content-addressed artifact cache of
-// the incremental campaign engine: expensive intermediates — generated
-// datagen/R-MAT graphs and per-(platform, graph) ETL outputs — are
-// stored on disk under their fingerprint and reused across campaign
-// runs, so iterating on one platform never regenerates the world.
-//
-// Layout under the cache root (the -cache-dir flag):
-//
-//	graphs/<fp>.galb   checksummed GALB graph (content hash on write)
-//	etl/<fp>.bin       platform-defined ETL blob + .sum sidecar
-//	stamps.jsonl       the stamped result store (see internal/stamp)
-//
-// Writes are atomic (temp file + rename), so a crashed run never leaves
-// a half-written artifact behind a valid name. Verification on read is
-// optional (Verify field / -cache-verify): a corrupted artifact is
-// reported to the caller, which regenerates and overwrites it — never
-// trusted.
 package artifact
 
 import (

@@ -1,0 +1,119 @@
+// Markdown link linting for the repository docs. The same spirit as
+// the Go-side checks in this package, applied to prose: a doc that
+// points at a file that no longer exists is a bug report waiting to
+// happen, so CI runs CheckMarkdownLinks over README.md, docs/ and the
+// examples READMEs.
+package codequality
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// LinkIssue is one broken (or malformed) markdown link.
+type LinkIssue struct {
+	File    string // the markdown file containing the link
+	Line    int
+	Target  string // the link target as written
+	Message string
+}
+
+func (i LinkIssue) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", i.File, i.Line, i.Target, i.Message)
+}
+
+// inline markdown links: [text](target). Images (![alt](target)) match
+// too via the same pattern, which is what we want.
+var mdLinkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// CheckMarkdownLinks verifies every relative link in the given markdown
+// files (paths relative to root) resolves to an existing file or
+// directory. Absolute URLs (scheme://), mailto: and pure in-page
+// anchors (#...) are skipped; a fragment suffix on a relative link is
+// stripped before the existence check. Links are resolved against the
+// directory of the file that contains them, exactly as a reader
+// browsing the tree would resolve them.
+func CheckMarkdownLinks(root string, files []string) ([]LinkIssue, error) {
+	var issues []LinkIssue
+	for _, rel := range files {
+		path := filepath.Join(root, rel)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("docslint: %w", err)
+		}
+		inFence := false
+		for ln, line := range strings.Split(string(data), "\n") {
+			// Skip fenced code blocks: shell snippets legitimately
+			// contain `](...)`-shaped text that is not a link.
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range mdLinkRE.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skipLinkTarget(target) {
+					continue
+				}
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+					if target == "" {
+						continue
+					}
+				}
+				resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+				if _, err := os.Stat(resolved); err != nil {
+					issues = append(issues, LinkIssue{
+						File:    rel,
+						Line:    ln + 1,
+						Target:  m[1],
+						Message: "target does not exist",
+					})
+				}
+			}
+		}
+	}
+	return issues, nil
+}
+
+func skipLinkTarget(target string) bool {
+	if strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
+		return true
+	}
+	return strings.Contains(target, "://")
+}
+
+// RepoMarkdownFiles lists the markdown files the docs lint covers:
+// README.md, everything under docs/, and the per-example READMEs.
+// Paths are returned relative to root, slash-separated.
+func RepoMarkdownFiles(root string) ([]string, error) {
+	var files []string
+	add := func(rel string) {
+		if _, err := os.Stat(filepath.Join(root, rel)); err == nil {
+			files = append(files, rel)
+		}
+	}
+	add("README.md")
+	for _, dir := range []string{"docs", "examples"} {
+		err := filepath.WalkDir(filepath.Join(root, dir), func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".md") {
+				return err
+			}
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			files = append(files, filepath.ToSlash(rel))
+			return nil
+		})
+		if err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	return files, nil
+}

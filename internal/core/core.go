@@ -128,6 +128,17 @@ type Benchmark struct {
 	// kernel version folded into fingerprints. Tests use it to simulate
 	// a rebuilt binary invalidating stamped results.
 	BinaryVersion string
+
+	// Executor, when non-nil, replaces the local pool with an external
+	// cell executor — the seam the distributed campaign manager
+	// (internal/dist) plugs into: every pending cell becomes one
+	// scheduler job that hands a self-contained CellSpec to the
+	// executor and records whatever comes back through the same
+	// journal/stamp/collation path as local execution. Platforms are
+	// never loaded in this process; ETL happens wherever the executor
+	// runs the cell. Local execution (nil) is the default and its
+	// schedule, job structure, and report output are unchanged.
+	Executor CellExecutor
 }
 
 // Ingest runs build, timing it as a dataset's ingest phase — the
@@ -210,9 +221,23 @@ func (b *Benchmark) Run(ctx context.Context) (*report.Report, error) {
 	slog.Info("core: campaign start",
 		"platforms", len(b.Platforms), "graphs", len(b.Graphs), "algorithms", len(algs),
 		"cells", len(c.cells), "jobs", len(jobs), "reps", b.Reps, "warmup", b.Warmup)
+	parallelism := b.Parallelism
+	limits := c.classLimits()
+	if b.Executor != nil {
+		// Lease-pool mode: jobs spend their time blocked in ExecuteCell
+		// waiting for remote capacity, so the real concurrency bound is
+		// the executor's, not this process's core count. Default to one
+		// goroutine per cell and drop the per-platform class limits —
+		// platform resource budgets belong to the process that loads the
+		// graph, and that is the runner.
+		if parallelism == 0 {
+			parallelism = len(jobs)
+		}
+		limits = nil
+	}
 	_, schedErr := sched.Run(ctx, jobs, sched.Options{
-		Parallelism: b.Parallelism,
-		ClassLimits: c.classLimits(),
+		Parallelism: parallelism,
+		ClassLimits: limits,
 		Retry:       c.retry,
 		Tracker:     b.Tracker,
 	})
@@ -309,7 +334,11 @@ type campaign struct {
 // content hash as fallback), and one workload stamp per algorithm.
 func (c *campaign) setupStamps(algs []algo.Kind) error {
 	b := c.b
-	c.stamping = c.journal != nil || b.Stamps != nil || b.Artifacts != nil
+	// An external executor always stamps: the dataset fingerprint is the
+	// content address under which runners fetch graph artifacts, and the
+	// cell fingerprint keeps manager- and runner-side stamp stores
+	// coherent.
+	c.stamping = c.journal != nil || b.Stamps != nil || b.Artifacts != nil || b.Executor != nil
 	if !c.stamping {
 		return nil
 	}
@@ -391,64 +420,89 @@ func cellKey(p, g string, a algo.Kind) string {
 	return "cell/" + p + "/" + g + "/" + string(a)
 }
 
-// buildJobs turns the matrix into a DAG: per (platform, graph) pair one
-// load job feeding one run job per algorithm. Cells restored from the
-// stamped result store (UPTODATE) or the resume journal create no job;
-// a pair whose cells all restored skips its load job too, so a re-run
-// of an unchanged matrix performs zero loads and zero kernel runs.
+// buildJobs turns the matrix into scheduler jobs. Cells restored from
+// the stamped result store (UPTODATE) or the resume journal create no
+// job; the remainder is planned by the active execution path — the
+// local pool (per (platform, graph) pair one load job feeding one run
+// job per algorithm; a pair whose cells all restored skips its load job
+// too, so a re-run of an unchanged matrix performs zero loads and zero
+// kernel runs) or, with an Executor configured, one independent
+// executor job per cell.
 func (c *campaign) buildJobs() []sched.Job {
 	b := c.b
 	var jobs []sched.Job
 	for pi, p := range b.Platforms {
 		for gi, g := range b.Graphs {
-			pg := &pgState{p: p, g: g}
-			loadID := "load/" + p.Name() + "/" + g.Name()
-			var runJobs []sched.Job
-			for ai, a := range c.algs {
-				slot := (pi*len(b.Graphs)+gi)*len(c.algs) + ai
-				base := cellKey(p.Name(), g.Name(), a)
-				fp := c.cellFP(p, g, a)
-				key := base
-				if !fp.IsZero() {
-					key = base + "@" + fp.Short()
-				}
-				if c.restoreCell(slot, key, fp) {
-					continue
-				}
-				if b.Stamps != nil {
-					telemetry.Metrics.Counter("stamp_cell_misses_total",
-						"matrix cells whose fingerprint was not in the stamped result store").Inc()
-				}
-				if c.journal != nil && !fp.IsZero() &&
-					(c.journal.Has(base) || c.journal.HasPrefix(base+"@")) {
-					c.warnStale(key)
-				}
-				pg.pendingCells = append(pg.pendingCells, pendingCell{slot: slot, alg: a, key: key, fp: fp})
-				a, key, fp := a, key, fp
-				runJobs = append(runJobs, sched.Job{
-					ID:    key,
-					Deps:  []string{loadID},
-					Class: p.Name(),
-					Run: func(ctx context.Context, attempt int) error {
-						return c.runCellJob(ctx, pg, a, slot, key, fp, attempt)
-					},
-				})
-			}
-			if len(runJobs) == 0 {
+			pending := c.pendingCellsFor(pi, p, gi, g)
+			if len(pending) == 0 {
 				continue
 			}
-			pg.remaining.Store(int64(len(runJobs)))
-			c.pgs = append(c.pgs, pg)
-			jobs = append(jobs, sched.Job{
-				ID:    loadID,
-				Class: p.Name(),
-				Run: func(ctx context.Context, attempt int) error {
-					return c.loadJob(pg, attempt)
-				},
-			})
-			jobs = append(jobs, runJobs...)
+			if b.Executor != nil {
+				jobs = append(jobs, c.executorJobs(p, g, pending)...)
+				continue
+			}
+			jobs = append(jobs, c.localJobs(p, g, pending)...)
 		}
 	}
+	return jobs
+}
+
+// pendingCellsFor restores what it can of one (platform, graph) pair's
+// cells and returns the rest — the cells some executor must actually
+// run — with their slots, journal keys, and fingerprints resolved.
+func (c *campaign) pendingCellsFor(pi int, p platform.Platform, gi int, g *graph.Graph) []pendingCell {
+	b := c.b
+	var pending []pendingCell
+	for ai, a := range c.algs {
+		slot := (pi*len(b.Graphs)+gi)*len(c.algs) + ai
+		base := cellKey(p.Name(), g.Name(), a)
+		fp := c.cellFP(p, g, a)
+		key := base
+		if !fp.IsZero() {
+			key = base + "@" + fp.Short()
+		}
+		if c.restoreCell(slot, key, fp) {
+			continue
+		}
+		if b.Stamps != nil {
+			telemetry.Metrics.Counter("stamp_cell_misses_total",
+				"matrix cells whose fingerprint was not in the stamped result store").Inc()
+		}
+		if c.journal != nil && !fp.IsZero() &&
+			(c.journal.Has(base) || c.journal.HasPrefix(base+"@")) {
+			c.warnStale(key)
+		}
+		pending = append(pending, pendingCell{slot: slot, alg: a, key: key, fp: fp})
+	}
+	return pending
+}
+
+// localJobs plans one (platform, graph) pair for the local pool: a load
+// job (the ETL step, run once) feeding one run job per pending cell.
+func (c *campaign) localJobs(p platform.Platform, g *graph.Graph, pending []pendingCell) []sched.Job {
+	pg := &pgState{p: p, g: g, pendingCells: pending}
+	loadID := "load/" + p.Name() + "/" + g.Name()
+	jobs := make([]sched.Job, 0, len(pending)+1)
+	jobs = append(jobs, sched.Job{
+		ID:    loadID,
+		Class: p.Name(),
+		Run: func(ctx context.Context, attempt int) error {
+			return c.loadJob(pg, attempt)
+		},
+	})
+	for _, cell := range pending {
+		cell := cell
+		jobs = append(jobs, sched.Job{
+			ID:    cell.key,
+			Deps:  []string{loadID},
+			Class: p.Name(),
+			Run: func(ctx context.Context, attempt int) error {
+				return c.runCellJob(ctx, pg, cell.alg, cell.slot, cell.key, cell.fp, attempt)
+			},
+		})
+	}
+	pg.remaining.Store(int64(len(pending)))
+	c.pgs = append(c.pgs, pg)
 	return jobs
 }
 

@@ -1,0 +1,433 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"graphalytics/internal/algo"
+	"graphalytics/internal/artifact"
+	"graphalytics/internal/core"
+	"graphalytics/internal/gen/datagen"
+	"graphalytics/internal/graph"
+	"graphalytics/internal/platform"
+	"graphalytics/internal/platform/graphdb"
+	"graphalytics/internal/platform/pregel"
+	"graphalytics/internal/report"
+	"graphalytics/internal/stamp"
+)
+
+func testGraph(t *testing.T, n int, name string) *graph.Graph {
+	t.Helper()
+	g, err := datagen.Generate(datagen.Config{Persons: n, Seed: 1, Name: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// --- protocol ---
+
+func TestFrameRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	fa, fb := newFrameConn(a), newFrameConn(b)
+	defer fa.Close()
+	defer fb.Close()
+
+	go func() {
+		_ = fa.send(&Msg{Type: TypeHello, Runner: "r1", Platforms: []string{"pregel"}, Slots: 2, Version: ProtocolVersion})
+		_ = fa.sendBlob(&Msg{Type: TypeBlob, ReqID: 7, Kind: "graph", Found: true}, []byte("payload-bytes"))
+		_ = fa.send(&Msg{Type: TypeBlob, ReqID: 8, Kind: "etl", Found: false})
+	}()
+
+	m, _, err := fb.recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != TypeHello || m.Runner != "r1" || m.Slots != 2 || len(m.Platforms) != 1 {
+		t.Fatalf("hello round-trip mangled: %+v", m)
+	}
+	m, payload, err := fb.recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ReqID != 7 || !m.Found || !bytes.Equal(payload, []byte("payload-bytes")) {
+		t.Fatalf("blob round-trip mangled: %+v payload=%q", m, payload)
+	}
+	m, payload, err = fb.recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ReqID != 8 || m.Found || payload != nil {
+		t.Fatalf("not-found blob mangled: %+v payload=%q", m, payload)
+	}
+}
+
+func TestFrameRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// --- distributed campaign helpers ---
+
+// startManager builds a manager for the given platforms/graphs on a
+// random localhost port.
+func startManager(t *testing.T, plats []platform.Platform, graphs []*graph.Graph, leaseTimeout time.Duration) *Manager {
+	t.Helper()
+	specs := make(map[string]PlatformSpec, len(plats))
+	for _, p := range plats {
+		specs[p.Name()] = PlatformSpec{Name: p.Name()}
+	}
+	byName := make(map[string]*graph.Graph, len(graphs))
+	for _, g := range graphs {
+		byName[g.Name()] = g
+	}
+	mgr, err := NewManager(ManagerOptions{Platforms: specs, Graphs: byName, LeaseTimeout: leaseTimeout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close() })
+	return mgr
+}
+
+// startRunner connects a real in-process runner with its own cache.
+func startRunner(t *testing.T, ctx context.Context, addr, name string, slots int) {
+	t.Helper()
+	cache, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamps, err := stamp.OpenStore(cache.StampStorePath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stamps.Close() })
+	r, err := Connect(addr, RunnerOptions{Name: name, Slots: slots, Cache: cache, Stamps: stamps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- r.Run(ctx) }()
+	t.Cleanup(func() {
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("runner did not exit after manager close")
+		}
+	})
+}
+
+// normalize strips everything time- or machine-dependent from a result
+// row and renders it as canonical JSON, so reports from local and
+// distributed runs can be compared byte-for-byte: coordinates, status,
+// validation, and structural metadata must match; runtimes, samples,
+// and provenance may not.
+func normalize(t *testing.T, rs []report.RunResult) []string {
+	t.Helper()
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		r.Runtime = 0
+		r.LoadTime = 0
+		r.KTEPS = 0
+		r.Reps = nil
+		r.Resources = nil
+		r.Attempts = 0
+		r.Provenance = ""
+		r.Counters = platform.Counters{}
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+// --- end-to-end ---
+
+// TestDistributedMatchesLocal runs the same small matrix locally and
+// through a manager with two runner processes, and requires the
+// collated reports to agree on everything except runtimes.
+func TestDistributedMatchesLocal(t *testing.T) {
+	g := testGraph(t, 250, "distsmoke")
+	algs := []algo.Kind{algo.BFS, algo.CONN, algo.STATS}
+	mkBench := func() *core.Benchmark {
+		return &core.Benchmark{
+			// graphdb exercises the ETL artifact path, pregel the plain
+			// in-memory load path.
+			Platforms:  []platform.Platform{pregel.New(pregel.Options{}), graphdb.New(graphdb.Options{})},
+			Graphs:     []*graph.Graph{g},
+			Algorithms: algs,
+			Validate:   true,
+			Params:     algo.Params{Source: 0, Seed: 3},
+		}
+	}
+
+	local, err := mkBench().Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	bench := mkBench()
+	mgr := startManager(t, bench.Platforms, bench.Graphs, 0)
+	addr := mgr.Addr().String()
+	startRunner(t, ctx, addr, "r1", 2)
+	startRunner(t, ctx, addr, "r2", 2)
+	bench.Executor = mgr
+
+	remote, err := bench.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Close()
+
+	ln, rn := normalize(t, local.Results), normalize(t, remote.Results)
+	if len(ln) != len(rn) {
+		t.Fatalf("result counts differ: local %d, distributed %d", len(ln), len(rn))
+	}
+	for i := range ln {
+		if ln[i] != rn[i] {
+			t.Errorf("cell %d differs:\n local: %s\nremote: %s", i, ln[i], rn[i])
+		}
+	}
+	for _, r := range remote.Results {
+		if r.Status != report.StatusSuccess {
+			t.Errorf("%s: status %s (%s)", r.Cell(), r.Status, r.Err)
+		}
+		if r.Runtime <= 0 {
+			t.Errorf("%s: runtime not recorded", r.Cell())
+		}
+	}
+}
+
+// fakeRunner speaks the raw protocol so tests can misbehave precisely.
+type fakeRunner struct {
+	fc     *frameConn
+	leases chan *Lease
+}
+
+func dialFake(t *testing.T, addr, name string, platforms []string) *fakeRunner {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := newFrameConn(conn)
+	err = fc.send(&Msg{Type: TypeHello, Runner: name, Platforms: platforms, Slots: 1, Version: ProtocolVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, _, err := fc.recv()
+	if err != nil || reply.Type != TypeHello {
+		t.Fatalf("fake runner handshake failed: %v %+v", err, reply)
+	}
+	f := &fakeRunner{fc: fc, leases: make(chan *Lease, 4)}
+	go func() {
+		for {
+			m, _, err := fc.recv()
+			if err != nil {
+				close(f.leases)
+				return
+			}
+			if m.Type == TypeLease {
+				f.leases <- m.Lease
+			}
+		}
+	}()
+	return f
+}
+
+func (f *fakeRunner) awaitLease(t *testing.T) *Lease {
+	t.Helper()
+	select {
+	case l, ok := <-f.leases:
+		if !ok {
+			t.Fatal("fake runner connection closed before lease arrived")
+		}
+		return l
+	case <-time.After(10 * time.Second):
+		t.Fatal("no lease arrived at fake runner")
+	}
+	return nil
+}
+
+// TestRunnerDeathReleasesCell kills a runner mid-lease (connection
+// drop) and asserts the cell is re-leased to a healthy runner and
+// lands in the report exactly once.
+func TestRunnerDeathReleasesCell(t *testing.T) {
+	g := testGraph(t, 150, "deathsmoke")
+	bench := &core.Benchmark{
+		Platforms:  []platform.Platform{pregel.New(pregel.Options{})},
+		Graphs:     []*graph.Graph{g},
+		Algorithms: []algo.Kind{algo.BFS},
+		Validate:   true,
+	}
+	mgr := startManager(t, bench.Platforms, bench.Graphs, 0)
+	addr := mgr.Addr().String()
+
+	// The doomed runner is the only one connected, so it gets the lease.
+	doomed := dialFake(t, addr, "doomed", []string{"pregel"})
+
+	bench.Executor = mgr
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	benchDone := make(chan *report.Report, 1)
+	benchErr := make(chan error, 1)
+	go func() {
+		rep, err := bench.Run(ctx)
+		benchErr <- err
+		benchDone <- rep
+	}()
+
+	lease := doomed.awaitLease(t)
+	if lease.Graph.Name != "deathsmoke" || lease.Algorithm != string(algo.BFS) {
+		t.Fatalf("unexpected lease: %+v", lease)
+	}
+	doomed.fc.Close() // mid-lease death
+
+	// A healthy runner picks up the re-leased cell.
+	startRunner(t, ctx, addr, "healthy", 1)
+
+	if err := <-benchErr; err != nil {
+		t.Fatal(err)
+	}
+	rep := <-benchDone
+	if len(rep.Results) != 1 {
+		t.Fatalf("results = %d, want exactly 1", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Status != report.StatusSuccess || !r.Validation.Valid {
+		t.Fatalf("re-leased cell: status %s (%s)", r.Status, r.Err)
+	}
+	if s := mgr.StatsSnapshot(); s.Releases < 1 || s.Leases < 2 {
+		t.Errorf("stats = %+v, want >=1 release and >=2 leases", s)
+	}
+}
+
+// TestLeaseTimeoutDropsZombieResult starves a lease of progress until
+// the manager re-leases it, then has the zombie deliver its result
+// late and asserts the zombie's row never reaches the report.
+func TestLeaseTimeoutDropsZombieResult(t *testing.T) {
+	g := testGraph(t, 150, "zombiesmoke")
+	bench := &core.Benchmark{
+		Platforms:  []platform.Platform{pregel.New(pregel.Options{})},
+		Graphs:     []*graph.Graph{g},
+		Algorithms: []algo.Kind{algo.BFS},
+	}
+	mgr := startManager(t, bench.Platforms, bench.Graphs, 300*time.Millisecond)
+	addr := mgr.Addr().String()
+
+	zombie := dialFake(t, addr, "zombie", []string{"pregel"})
+
+	bench.Executor = mgr
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	benchDone := make(chan *report.Report, 1)
+	benchErr := make(chan error, 1)
+	go func() {
+		rep, err := bench.Run(ctx)
+		benchErr <- err
+		benchDone <- rep
+	}()
+
+	lease := zombie.awaitLease(t)
+	// Silence: no progress, no result — the manager re-leases after
+	// 300ms. Then connect a healthy runner to execute it for real.
+	time.Sleep(600 * time.Millisecond)
+	startRunner(t, ctx, addr, "healthy", 1)
+
+	if err := <-benchErr; err != nil {
+		t.Fatal(err)
+	}
+	rep := <-benchDone
+
+	// The zombie wakes up and delivers a poison row for its dead lease.
+	poison := &report.RunResult{
+		Platform: "pregel", Graph: "zombiesmoke", Algorithm: algo.BFS,
+		Status: report.StatusError, Err: "ZOMBIE",
+	}
+	if err := zombie.fc.send(&Msg{Type: TypeResult, LeaseID: lease.ID, Result: poison}); err != nil {
+		t.Fatalf("zombie send: %v", err)
+	}
+	// The drop is synchronous with the manager's read loop; poll the
+	// counter briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for mgr.StatsSnapshot().StaleResults == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if len(rep.Results) != 1 {
+		t.Fatalf("results = %d, want exactly 1", len(rep.Results))
+	}
+	if r := rep.Results[0]; r.Status != report.StatusSuccess || r.Err == "ZOMBIE" {
+		t.Fatalf("zombie result reached the report: %+v", r)
+	}
+	s := mgr.StatsSnapshot()
+	if s.StaleResults < 1 {
+		t.Errorf("stale result was not counted: %+v", s)
+	}
+	if s.Releases < 1 {
+		t.Errorf("lease timeout did not release the cell: %+v", s)
+	}
+}
+
+// TestRunnerReusesCachedGraph asserts the second campaign against the
+// same runner cache skips the graph transfer (the content-addressed
+// artifact store is shared between leases and campaigns).
+func TestRunnerReusesCachedGraph(t *testing.T) {
+	g := testGraph(t, 150, "cachesmoke")
+	cache, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := stamp.OfGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.StoreGraph(fp, g); err != nil {
+		t.Fatal(err)
+	}
+	stamps, err := stamp.OpenStore(cache.StampStorePath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stamps.Close()
+
+	bench := &core.Benchmark{
+		Platforms:  []platform.Platform{pregel.New(pregel.Options{})},
+		Graphs:     []*graph.Graph{g},
+		Algorithms: []algo.Kind{algo.BFS},
+	}
+	mgr := startManager(t, bench.Platforms, bench.Graphs, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r, err := Connect(mgr.Addr().String(), RunnerOptions{Name: "warm", Cache: cache, Stamps: stamps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go r.Run(ctx)
+
+	bench.Executor = mgr
+	rep, err := bench.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].Status != report.StatusSuccess {
+		t.Fatalf("warm-cache cell failed: %+v", rep.Results[0])
+	}
+	// The graph was pre-seeded: the manager must not have served it.
+	if n := mgr.StatsSnapshot(); n.Leases != 1 {
+		t.Errorf("leases = %d, want 1", n.Leases)
+	}
+}

@@ -1,0 +1,249 @@
+package dist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"graphalytics/internal/algo"
+	"graphalytics/internal/report"
+)
+
+// ProtocolVersion is the dist wire protocol version. A manager rejects
+// runners speaking a different version during the hello exchange; bump
+// it whenever a message or the framing changes incompatibly.
+const ProtocolVersion = 1
+
+// maxFrame bounds one JSON frame (not blob payloads, which are bounded
+// separately by maxBlob). Control messages are small; a larger frame is
+// a corrupt stream or a port collision, not a bigger campaign.
+const maxFrame = 16 << 20
+
+// maxBlob bounds one artifact transfer (a serialized graph or ETL
+// blob).
+const maxBlob = int64(8) << 30
+
+// Message types. Every frame is one Msg; the "blob" frame is followed
+// by exactly Size raw bytes of artifact payload outside the JSON.
+const (
+	// TypeHello opens a connection in both directions: the runner
+	// announces its capabilities (platforms, slots, binary fingerprint),
+	// the manager answers with its own identity and accepts or rejects.
+	TypeHello = "hello"
+	// TypeLease assigns one matrix cell to a runner (manager → runner).
+	TypeLease = "lease"
+	// TypeProgress is the runner's keepalive for an in-flight lease:
+	// phase, elapsed time, and a coarse monitor sample. Receiving it
+	// resets the manager's lease timeout.
+	TypeProgress = "progress"
+	// TypeResult delivers the finished cell (runner → manager): the full
+	// report.RunResult including repetition statistics and provenance.
+	TypeResult = "result"
+	// TypeFetch requests a missing artifact by content address (runner →
+	// manager): Kind "graph" or "etl", FP the fingerprint hex.
+	TypeFetch = "fetch"
+	// TypeBlob answers a fetch (manager → runner). When Found, exactly
+	// Size raw payload bytes follow the frame on the wire.
+	TypeBlob = "blob"
+	// TypeBye announces a graceful close. The manager sends it when the
+	// campaign is over; a runner that receives it drains and exits.
+	TypeBye = "bye"
+	// TypeError reports a fatal protocol-level problem before closing.
+	TypeError = "error"
+)
+
+// Msg is the wire envelope: one JSON object per length-prefixed frame.
+// Fields are a union over message types; unused fields stay empty and
+// are omitted from the encoding.
+type Msg struct {
+	Type string `json:"type"`
+
+	// hello (runner → manager): capabilities.
+	Runner    string   `json:"runner,omitempty"`
+	Platforms []string `json:"platforms,omitempty"`
+	Slots     int      `json:"slots,omitempty"`
+	// hello (both directions): identity and compatibility.
+	Binary  string `json:"binary,omitempty"`
+	Version int    `json:"version,omitempty"`
+
+	// lease (manager → runner).
+	Lease *Lease `json:"lease,omitempty"`
+
+	// progress / result (runner → manager).
+	LeaseID   uint64            `json:"lease_id,omitempty"`
+	Phase     string            `json:"phase,omitempty"`
+	ElapsedNS int64             `json:"elapsed_ns,omitempty"`
+	HeapBytes uint64            `json:"heap_bytes,omitempty"`
+	Result    *report.RunResult `json:"result,omitempty"`
+
+	// fetch / blob.
+	ReqID uint64 `json:"req_id,omitempty"`
+	Kind  string `json:"kind,omitempty"`
+	FP    string `json:"fp,omitempty"`
+	Found bool   `json:"found,omitempty"`
+	Size  int64  `json:"size,omitempty"`
+
+	// error / bye.
+	Err string `json:"err,omitempty"`
+}
+
+// Lease is one cell assignment: the complete, self-contained recipe a
+// runner needs to reproduce the cell a local campaign would have run —
+// coordinates, platform construction parameters, dataset content
+// address, the repetition protocol, and the fingerprint identity that
+// keeps manager- and runner-side stamp stores coherent.
+type Lease struct {
+	ID uint64 `json:"id"`
+	// Platform carries the engine construction parameters, so every
+	// runner builds an identical platform.
+	Platform PlatformSpec `json:"platform"`
+	// Graph references the dataset by name and content address. A
+	// runner that does not hold the artifact fetches it from the
+	// manager over this same connection.
+	Graph GraphRef `json:"graph"`
+	// Algorithm is the workload name.
+	Algorithm string `json:"algorithm"`
+	// Params are the raw campaign algorithm parameters (defaults are
+	// applied runner-side against the graph's vertex count, exactly as
+	// a local campaign does).
+	Params algo.Params `json:"params"`
+	// Execution protocol.
+	TimeoutNS int64 `json:"timeout_ns,omitempty"`
+	Validate  bool  `json:"validate,omitempty"`
+	Reps      int   `json:"reps,omitempty"`
+	Warmup    int   `json:"warmup,omitempty"`
+	MonitorNS int64 `json:"monitor_ns,omitempty"`
+	// Binary is the manager's binary/kernel version: the runner folds
+	// it into its fingerprints so stamps recorded remotely match the
+	// manager's content addresses.
+	Binary string `json:"binary,omitempty"`
+	// CellFP is the manager-computed cell fingerprint (diagnostic: a
+	// runner whose own derivation disagrees logs the drift).
+	CellFP string `json:"cell_fp,omitempty"`
+	// KeepaliveNS is how often the runner must send progress to keep
+	// the lease alive (derived from the manager's lease timeout).
+	KeepaliveNS int64 `json:"keepalive_ns,omitempty"`
+}
+
+// PlatformSpec is the constructor recipe for one platform: everything a
+// runner needs to build an engine whose configuration stamp equals the
+// manager's.
+type PlatformSpec struct {
+	// Name selects the engine ("pregel", "mapreduce", "dataflow",
+	// "graphdb").
+	Name string `json:"name"`
+	// Memory is the engine memory budget in bytes (0 = unlimited).
+	Memory int64 `json:"memory,omitempty"`
+	// Workers is the kernel worker budget (pregel BSP workers,
+	// mapreduce slots, dataflow partitions; 0 = all cores). graphdb is
+	// single-threaded by design and ignores it.
+	Workers int `json:"workers,omitempty"`
+}
+
+// GraphRef addresses one dataset.
+type GraphRef struct {
+	// Name is the dataset name as it appears in reports.
+	Name string `json:"name"`
+	// FP is the dataset fingerprint hex — the content address for
+	// cache lookup and fetch.
+	FP string `json:"fp"`
+	// Edges is |E|, for missing-value rows and sanity checks.
+	Edges int64 `json:"edges,omitempty"`
+}
+
+// frameConn wraps a duplex stream with length-prefixed JSON framing:
+// each frame is a 4-byte big-endian payload length followed by one
+// JSON-encoded Msg. Blob payloads ride as raw bytes immediately after
+// their announcing frame, written under the same lock so concurrent
+// senders can never interleave a frame into the middle of a payload.
+// Reads are single-consumer (one read loop per connection); writes are
+// safe for concurrent use.
+type frameConn struct {
+	r  io.Reader
+	w  io.Writer
+	c  io.Closer
+	wm sync.Mutex
+}
+
+func newFrameConn(rwc io.ReadWriteCloser) *frameConn {
+	return &frameConn{r: rwc, w: rwc, c: rwc}
+}
+
+// send writes one frame.
+func (fc *frameConn) send(m *Msg) error {
+	fc.wm.Lock()
+	defer fc.wm.Unlock()
+	return writeFrame(fc.w, m)
+}
+
+// sendBlob writes a blob frame followed by its raw payload atomically
+// with respect to other senders.
+func (fc *frameConn) sendBlob(m *Msg, payload []byte) error {
+	m.Size = int64(len(payload))
+	fc.wm.Lock()
+	defer fc.wm.Unlock()
+	if err := writeFrame(fc.w, m); err != nil {
+		return err
+	}
+	_, err := fc.w.Write(payload)
+	return err
+}
+
+// recv reads the next frame. For a found blob frame it also consumes
+// the raw payload so the stream stays in sync whether or not anyone is
+// waiting for the bytes.
+func (fc *frameConn) recv() (*Msg, []byte, error) {
+	m, err := readFrame(fc.r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if m.Type == TypeBlob && m.Found {
+		if m.Size < 0 || m.Size > maxBlob {
+			return nil, nil, fmt.Errorf("dist: blob size %d out of range", m.Size)
+		}
+		payload := make([]byte, m.Size)
+		if _, err := io.ReadFull(fc.r, payload); err != nil {
+			return nil, nil, fmt.Errorf("dist: reading blob payload: %w", err)
+		}
+		return m, payload, nil
+	}
+	return m, nil, nil
+}
+
+func (fc *frameConn) Close() error { return fc.c.Close() }
+
+func writeFrame(w io.Writer, m *Msg) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("dist: encoding %s frame: %w", m.Type, err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader) (*Msg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("dist: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var m Msg
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("dist: decoding frame: %w", err)
+	}
+	return &m, nil
+}

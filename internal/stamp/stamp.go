@@ -1,14 +1,3 @@
-// Package stamp implements content-addressed fingerprints for the
-// incremental campaign engine: every matrix cell, dataset, and ETL
-// artifact is identified by a SHA-256 over its inputs (graph content or
-// generator parameters, workload spec and validation policy, platform
-// name and configuration including the worker budget, and the binary /
-// kernel version). Equal fingerprints mean "re-running would reproduce
-// this result", so the harness can mark unchanged cells UPTODATE and
-// restore their report entries instead of executing kernels — the
-// BuildStamp/UPTODATE shape of incremental build graphs applied to the
-// benchmark matrix. Any single changed input changes the fingerprint
-// and re-executes exactly the affected cells.
 package stamp
 
 import (
